@@ -1,0 +1,44 @@
+"""Ablation — edge-colouring backend and fair-distribution verification cost.
+
+DESIGN.md §5 calls out two implementation choices worth ablating:
+
+* the edge-colouring backend behind Theorem 1 (``konig`` repeated matching vs
+  ``euler`` Gabow-style splitting), and
+* whether the router re-verifies the fair distribution against its definition
+  (``verify=True``) — pure overhead in production, but the default here because
+  the repository's purpose is reproduction.
+
+Both knobs leave the slot counts untouched (asserted below); only the routing
+computation time changes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pops.topology import POPSNetwork
+from repro.routing.permutation_router import PermutationRouter, theorem2_slot_bound
+from repro.utils.permutations import random_permutation
+
+SHAPES = [(16, 16), (32, 8), (8, 32)]
+
+
+@pytest.mark.parametrize("backend", ["konig", "euler"])
+@pytest.mark.parametrize("d,g", SHAPES, ids=[f"d{d}g{g}" for d, g in SHAPES])
+def test_backend_ablation(benchmark, d, g, backend):
+    network = POPSNetwork(d, g)
+    pi = random_permutation(network.n, random.Random(13))
+    router = PermutationRouter(network, backend=backend, verify=False)
+    plan = benchmark(lambda: router.route(pi))
+    assert plan.n_slots == theorem2_slot_bound(d, g)
+
+
+@pytest.mark.parametrize("verify", [False, True], ids=["no-verify", "verify"])
+def test_verification_overhead(benchmark, verify):
+    network = POPSNetwork(16, 16)
+    pi = random_permutation(network.n, random.Random(17))
+    router = PermutationRouter(network, verify=verify)
+    plan = benchmark(lambda: router.route(pi))
+    assert plan.n_slots == 2

@@ -1,0 +1,90 @@
+"""E8 — the collective-algorithm catalogue built on the universal router.
+
+Paper motivation: data sum, prefix sum, matrix operations and hypercube/mesh
+simulations were designed pattern-by-pattern before the universal routing
+result; here every one of them is a sequence of routed permutations.  The
+benchmark times each collective (executed end-to-end on the simulator) and
+checks both the numerical result and the slot decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.broadcast import execute_broadcast
+from repro.algorithms.emulation import HypercubeEmulator, MeshEmulator
+from repro.algorithms.matrix import cannon_matrix_multiply, distributed_transpose
+from repro.algorithms.prefix_sum import hypercube_prefix_sum
+from repro.algorithms.reduction import hypercube_allreduce
+from repro.analysis.experiments import run_collectives_experiment
+from repro.pops.topology import POPSNetwork
+from repro.routing.permutation_router import theorem2_slot_bound
+
+
+def test_broadcast(benchmark):
+    network = POPSNetwork(8, 8)
+    values, slots = benchmark(lambda: execute_broadcast(network, speaker=3, payload=42))
+    assert slots == 1
+    assert values == [42] * network.n
+
+
+@pytest.mark.parametrize("d,g", [(4, 8), (8, 4)], ids=["d4g8", "d8g4"])
+def test_allreduce(benchmark, d, g):
+    network = POPSNetwork(d, g)
+    data = list(range(network.n))
+    reduced, slots = benchmark(lambda: hypercube_allreduce(network, data, lambda a, b: a + b))
+    assert all(value == sum(data) for value in reduced)
+    log_n = network.n.bit_length() - 1
+    assert slots == theorem2_slot_bound(d, g) * log_n
+
+
+@pytest.mark.parametrize("d,g", [(4, 8), (8, 4)], ids=["d4g8", "d8g4"])
+def test_prefix_sum(benchmark, d, g):
+    network = POPSNetwork(d, g)
+    data = list(range(network.n))
+    prefixes, slots = benchmark(lambda: hypercube_prefix_sum(network, data))
+    assert prefixes == list(np.cumsum(data))
+    assert slots == theorem2_slot_bound(d, g) * (network.n.bit_length() - 1)
+
+
+def test_transpose_router_vs_direct(benchmark):
+    network = POPSNetwork(6, 6)
+    matrix = np.arange(36.0).reshape(6, 6)
+    transposed, slots = benchmark(
+        lambda: distributed_transpose(network, matrix, method="router")
+    )
+    assert (transposed == matrix.T).all()
+    assert slots == 2
+
+
+def test_cannon_multiply(benchmark):
+    network = POPSNetwork(4, 4)
+    rng = np.random.default_rng(11)
+    a = rng.normal(size=(4, 4))
+    b = rng.normal(size=(4, 4))
+    product, slots = benchmark(lambda: cannon_matrix_multiply(network, a, b))
+    assert np.allclose(product, a @ b)
+    assert slots == theorem2_slot_bound(4, 4) * (2 + 2 * 3)
+
+
+def test_hypercube_emulation_step(benchmark):
+    network = POPSNetwork(8, 4)
+    emulator = HypercubeEmulator(network)
+    values = list(range(network.n))
+    moved = benchmark(lambda: emulator.exchange(values, bit=3))
+    assert moved == [i ^ 8 for i in range(network.n)]
+
+
+def test_mesh_emulation_step(benchmark):
+    network = POPSNetwork(6, 6)
+    emulator = MeshEmulator(network)
+    values = list(range(network.n))
+    moved = benchmark(lambda: emulator.shift(values, axis="row"))
+    assert sorted(moved) == values
+
+
+def test_e8_experiment_table(benchmark, print_report):
+    result = benchmark(run_collectives_experiment)
+    print_report(result)
+    assert result.all_pass

@@ -1,0 +1,45 @@
+"""E2 — the worked example of Figure 3 (POPS(3,3)).
+
+Paper claim: the permutation of Figure 3 cannot be routed in one slot (two
+packets of group 1 target group 0), but one slot reaches a fair distribution
+and a second delivers every packet — two slots total, matching
+``2⌈d/g⌉ = 2``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_figure3_example
+from repro.patterns.families import figure3_permutation
+from repro.pops.simulator import POPSSimulator
+from repro.pops.topology import POPSNetwork
+from repro.routing.one_slot import is_one_slot_routable
+from repro.routing.permutation_router import PermutationRouter
+
+
+def test_figure3_not_one_slot_routable(benchmark):
+    network = POPSNetwork(3, 3)
+    verdict = benchmark(lambda: is_one_slot_routable(network, figure3_permutation()))
+    assert verdict is False
+
+
+def test_figure3_two_slot_routing(benchmark):
+    """Time the full pipeline on the paper's own example."""
+    network = POPSNetwork(3, 3)
+    router = PermutationRouter(network)
+    simulator = POPSSimulator(network)
+    pi = figure3_permutation()
+
+    def run():
+        plan = router.route(pi)
+        simulator.route_and_verify(plan.schedule, plan.packets)
+        return plan
+
+    plan = benchmark(run)
+    assert plan.n_slots == 2
+
+
+def test_e2_experiment_table(benchmark, print_report):
+    result = benchmark(run_figure3_example)
+    print_report(result)
+    assert result.all_pass
+    assert result.notes["slots used"] == 2

@@ -1,0 +1,56 @@
+"""E4 — Propositions 1–3: measured slots versus the lower bounds.
+
+Paper claims: derangements need at least ``⌈d/g⌉`` slots (Prop. 1);
+group-moving group-blocked permutations need at least ``2⌈d/g⌉`` slots, so
+Theorem 2 is exactly optimal on them (Prop. 2); fixed-point-free group-blocked
+permutations need at least ``2⌈d/(1+g)⌉`` slots (Prop. 3).  The benchmark
+routes workloads from each class and checks the measured slot counts sit
+between the applicable bound and Theorem 2's guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_lower_bound_experiment
+from repro.analysis.metrics import measure_routing
+from repro.patterns.generators import PermutationGenerator
+from repro.pops.topology import POPSNetwork
+from repro.routing.lower_bounds import (
+    proposition1_lower_bound,
+    proposition2_lower_bound,
+)
+
+SHAPES = [(8, 4), (16, 4), (9, 3), (8, 8)]
+
+
+@pytest.mark.parametrize("d,g", SHAPES, ids=[f"d{d}g{g}" for d, g in SHAPES])
+def test_proposition2_class_is_tight(benchmark, d, g):
+    """On Proposition 2's class the router's 2*ceil(d/g) is exactly optimal."""
+    network = POPSNetwork(d, g)
+    generator = PermutationGenerator(network, rng=17)
+    pi = generator.group_moving_blocked()
+
+    metrics = benchmark(lambda: measure_routing(network, pi))
+    bound = proposition2_lower_bound(network, pi)
+    assert bound is not None
+    assert metrics.slots == bound
+
+
+@pytest.mark.parametrize("d,g", SHAPES, ids=[f"d{d}g{g}" for d, g in SHAPES])
+def test_proposition1_derangements(benchmark, d, g):
+    """Derangements respect the ceil(d/g) bound and the 2x guarantee."""
+    network = POPSNetwork(d, g)
+    generator = PermutationGenerator(network, rng=23)
+    pi = generator.derangement()
+
+    metrics = benchmark(lambda: measure_routing(network, pi))
+    bound = proposition1_lower_bound(network, pi)
+    assert bound is not None
+    assert bound <= metrics.slots <= 2 * bound
+
+
+def test_e4_experiment_table(benchmark, print_report):
+    result = benchmark(lambda: run_lower_bound_experiment(trials=2, seed=11))
+    print_report(result)
+    assert result.all_pass

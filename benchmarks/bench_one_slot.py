@@ -1,0 +1,54 @@
+"""E7 — single-slot routability (Fact 1 / Gravenstreter–Melhem).
+
+Paper claim: a set of packets that is fairly distributed routes in one slot
+(Fact 1), and for full permutations this class is characterised by "no two
+same-group packets share a destination group" — a very small class as soon as
+``d > 1``.  The benchmark measures both the routability test and the one-slot
+router, and regenerates the fraction-of-routable-permutations table.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.experiments import run_one_slot_fraction
+from repro.pops.packet import Packet
+from repro.pops.simulator import POPSSimulator
+from repro.pops.topology import POPSNetwork
+from repro.routing.one_slot import OneSlotRouter, is_one_slot_routable
+from repro.utils.permutations import random_permutation
+
+
+def routable_permutation(network: POPSNetwork) -> list[int]:
+    """A permutation that is single-slot routable by construction: processor
+    (h, i) goes to (h + i mod g, i)."""
+    d, g = network.d, network.g
+    return [((h + i) % g) * d + i for h in range(g) for i in range(d)]
+
+
+@pytest.mark.parametrize("d,g", [(4, 8), (8, 8), (16, 16)], ids=["d4g8", "d8g8", "d16g16"])
+def test_one_slot_router(benchmark, d, g):
+    network = POPSNetwork(d, g)
+    pi = routable_permutation(network)
+    router = OneSlotRouter(network)
+
+    schedule = benchmark(lambda: router.route(pi))
+    assert schedule.n_slots == 1
+    packets = [Packet(source=i, destination=pi[i]) for i in range(network.n)]
+    POPSSimulator(network).route_and_verify(schedule, packets)
+
+
+@pytest.mark.parametrize("d,g", [(8, 8), (16, 16)], ids=["d8g8", "d16g16"])
+def test_routability_check_cost(benchmark, d, g):
+    network = POPSNetwork(d, g)
+    pi = random_permutation(network.n, random.Random(3))
+    verdict = benchmark(lambda: is_one_slot_routable(network, pi))
+    assert verdict in (True, False)
+
+
+def test_e7_experiment_table(benchmark, print_report):
+    result = benchmark(lambda: run_one_slot_fraction(trials=100, seed=31))
+    print_report(result)
+    assert result.all_pass

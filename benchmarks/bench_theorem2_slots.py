@@ -1,0 +1,53 @@
+"""E1 — Theorem 2 slot counts over a (d, g) sweep.
+
+Paper claim: a POPS(d, g) network routes **any** permutation in 1 slot when
+``d = 1`` and ``2⌈d/g⌉`` slots when ``d > 1``.  The benchmark measures the
+wall-clock cost of producing and verifying the routing for representative
+network shapes and asserts the exact slot counts; the printed table is the
+row-set recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.experiments import run_theorem2_sweep
+from repro.analysis.metrics import measure_routing
+from repro.pops.topology import POPSNetwork
+from repro.routing.permutation_router import PermutationRouter, theorem2_slot_bound
+from repro.utils.permutations import random_permutation
+
+#: Representative shapes: one per routing regime plus stress points.
+SHAPES = [(1, 16), (4, 16), (16, 16), (16, 4), (32, 8), (17, 5)]
+
+
+@pytest.mark.parametrize("d,g", SHAPES, ids=[f"d{d}g{g}" for d, g in SHAPES])
+def test_theorem2_route_and_verify(benchmark, d, g):
+    """Time route+simulate+verify for one random permutation per shape."""
+    network = POPSNetwork(d, g)
+    rng = random.Random(1000 * d + g)
+    pi = random_permutation(network.n, rng)
+
+    metrics = benchmark(lambda: measure_routing(network, pi))
+    assert metrics.slots == theorem2_slot_bound(d, g)
+    assert metrics.meets_theorem2_bound
+
+
+@pytest.mark.parametrize("d,g", [(8, 8), (16, 8)], ids=["d8g8", "d16g8"])
+def test_theorem2_route_only(benchmark, d, g):
+    """Time the routing computation alone (no simulation), the paper's algorithmic cost."""
+    network = POPSNetwork(d, g)
+    pi = random_permutation(network.n, random.Random(7))
+    router = PermutationRouter(network, verify=False)
+
+    plan = benchmark(lambda: router.route(pi))
+    assert plan.n_slots == theorem2_slot_bound(d, g)
+
+
+def test_e1_experiment_table(benchmark, print_report):
+    """Regenerate the E1 table (slot counts across the default sweep)."""
+    result = benchmark(lambda: run_theorem2_sweep(trials=2, seed=2002))
+    print_report(result)
+    assert result.all_pass

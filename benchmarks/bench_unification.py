@@ -1,0 +1,61 @@
+"""E5 — unification of the specialised routing results of Section 2.
+
+Paper claim: every permutation previously routed with a bespoke algorithm —
+hypercube dimension exchanges and mesh row/column shifts ([Sahni 2000b]),
+vector reversal and BPC permutations ([Sahni 2000a]) — is handled by the
+universal router in the same ``2⌈d/g⌉`` slots, and matrix transpose retains
+its ``⌈d/g⌉`` single-hop optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_unification_experiment
+from repro.analysis.metrics import measure_routing
+from repro.patterns.families import (
+    bit_reversal_permutation,
+    hypercube_exchange,
+    matrix_transpose_permutation,
+    mesh_row_shift,
+    perfect_shuffle,
+    vector_reversal,
+)
+from repro.pops.topology import POPSNetwork
+from repro.routing.baselines.direct import DirectRouter
+from repro.routing.permutation_router import theorem2_slot_bound
+
+FAMILIES = {
+    "hypercube_bit0": (8, 4, lambda n: hypercube_exchange(n, 0)),
+    "hypercube_high_bit": (8, 4, lambda n: hypercube_exchange(n, 4)),
+    "mesh_row_shift": (6, 6, lambda n: mesh_row_shift(6)),
+    "vector_reversal": (16, 4, vector_reversal),
+    "perfect_shuffle": (8, 4, perfect_shuffle),
+    "bit_reversal": (8, 4, bit_reversal_permutation),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES), ids=sorted(FAMILIES))
+def test_specialised_families_meet_bound(benchmark, family):
+    d, g, factory = FAMILIES[family]
+    network = POPSNetwork(d, g)
+    pi = factory(network.n)
+
+    metrics = benchmark(lambda: measure_routing(network, pi))
+    assert metrics.slots == theorem2_slot_bound(d, g)
+
+
+def test_transpose_direct_optimum(benchmark):
+    """Sahni's transpose: ceil(d/g) single-hop slots on POPS(16, 4)."""
+    network = POPSNetwork(16, 4)
+    pi = matrix_transpose_permutation(8)
+    router = DirectRouter(network)
+
+    schedule = benchmark(lambda: router.route(pi))
+    assert schedule.n_slots == 4  # ceil(16 / 4)
+
+
+def test_e5_experiment_table(benchmark, print_report):
+    result = benchmark(run_unification_experiment)
+    print_report(result)
+    assert result.all_pass

@@ -1,0 +1,75 @@
+"""E6 — universal two-hop router versus the single-hop direct baseline.
+
+Paper motivation: a permutation concentrating a whole group's traffic on a
+single destination group (group-blocked traffic) forces any single-hop
+strategy to ``d`` slots because only one coupler joins the two groups; the
+universal router keeps its ``2⌈d/g⌉`` guarantee by scattering packets first.
+On uniform random traffic the direct baseline is competitive, which locates
+the crossover.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_direct_comparison
+from repro.analysis.metrics import measure_routing
+from repro.patterns.generators import PermutationGenerator
+from repro.pops.topology import POPSNetwork
+from repro.routing.baselines.blocked import BlockedPermutationRouter
+from repro.routing.baselines.direct import DirectRouter
+from repro.routing.permutation_router import PermutationRouter, theorem2_slot_bound
+
+SHAPES = [(8, 4), (16, 4), (32, 4), (16, 8)]
+
+
+@pytest.mark.parametrize("d,g", SHAPES, ids=[f"d{d}g{g}" for d, g in SHAPES])
+def test_universal_beats_direct_on_blocked_traffic(benchmark, d, g):
+    network = POPSNetwork(d, g)
+    generator = PermutationGenerator(network, rng=29)
+    pi = generator.group_moving_blocked()
+
+    metrics = benchmark(lambda: measure_routing(network, pi))
+    direct_slots = DirectRouter(network).slots_required(pi)
+    assert metrics.slots == theorem2_slot_bound(d, g)
+    assert direct_slots == d
+    assert metrics.slots < direct_slots  # the paper's win: 2*ceil(d/g) < d here
+
+
+@pytest.mark.parametrize("d,g", [(16, 4), (32, 8)], ids=["d16g4", "d32g8"])
+def test_direct_router_cost(benchmark, d, g):
+    """Time the baseline itself so the comparison is two-sided."""
+    network = POPSNetwork(d, g)
+    generator = PermutationGenerator(network, rng=31)
+    pi = generator.group_blocked()
+    router = DirectRouter(network)
+    schedule = benchmark(lambda: router.route(pi))
+    assert schedule.n_slots >= theorem2_slot_bound(d, g)
+
+
+@pytest.mark.parametrize("d,g", [(16, 4), (32, 8)], ids=["d16g4", "d32g8"])
+def test_blocked_specialised_router_cost(benchmark, d, g):
+    """The closed-formula specialised router: same slots, no edge colouring."""
+    network = POPSNetwork(d, g)
+    generator = PermutationGenerator(network, rng=37)
+    pi = generator.group_blocked()
+    router = BlockedPermutationRouter(network)
+    schedule = benchmark(lambda: router.route(pi))
+    assert schedule.n_slots == theorem2_slot_bound(d, g)
+
+
+@pytest.mark.parametrize("d,g", [(16, 4), (32, 8)], ids=["d16g4", "d32g8"])
+def test_universal_router_cost_on_blocked(benchmark, d, g):
+    """The general router on the same workload (ablation: formula vs colouring)."""
+    network = POPSNetwork(d, g)
+    generator = PermutationGenerator(network, rng=37)
+    pi = generator.group_blocked()
+    router = PermutationRouter(network, verify=False)
+    plan = benchmark(lambda: router.route(pi))
+    assert plan.n_slots == theorem2_slot_bound(d, g)
+
+
+def test_e6_experiment_table(benchmark, print_report):
+    result = benchmark(lambda: run_direct_comparison(trials=2, seed=23))
+    print_report(result)
+    assert result.all_pass

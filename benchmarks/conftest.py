@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark corresponds to one experiment of DESIGN.md's experiment index
+(E1–E8) and both *times* the relevant kernel with ``pytest-benchmark`` and
+*prints* the table of paper-claim-vs-measured rows that EXPERIMENTS.md records.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(result) -> None:
+    """Print an experiment report so the rows appear in the benchmark log."""
+    print()
+    print(result.to_report())
+
+
+@pytest.fixture
+def print_report():
+    """Fixture exposing :func:`report` to benchmark functions."""
+    return report

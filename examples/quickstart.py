@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: route a permutation on a POPS network and verify it by simulation.
+
+This walks through the paper's headline result (Theorem 2) on a POPS(8, 4)
+network: build the network, route a permutation with the universal router,
+execute the schedule on the slot-accurate simulator, and compare the slot
+count against the theoretical bound and the applicable lower bound.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import POPSNetwork, POPSSimulator, PermutationRouter, theorem2_slot_bound
+from repro.analysis.metrics import measure_routing
+from repro.patterns.families import figure3_permutation, vector_reversal
+from repro.routing.lower_bounds import best_known_lower_bound
+from repro.utils.permutations import random_permutation
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ setup
+    network = POPSNetwork(d=8, g=4)
+    print(f"network: POPS(d={network.d}, g={network.g})")
+    print(f"  processors : {network.n}")
+    print(f"  couplers   : {network.n_couplers}")
+    print(f"  Theorem 2  : any permutation in {theorem2_slot_bound(network.d, network.g)} slots")
+    print()
+
+    # ----------------------------------------------------------- route + simulate
+    router = PermutationRouter(network)
+    simulator = POPSSimulator(network)
+
+    pi = vector_reversal(network.n)
+    plan = router.route(pi)
+    result = simulator.route_and_verify(plan.schedule, plan.packets)
+    print("vector reversal (pi(i) = n-1-i)")
+    print(f"  slots used          : {plan.n_slots}")
+    print(f"  lower bound (Prop 2): {best_known_lower_bound(network, pi)}")
+    print(f"  packets moved/slot  : {result.trace.packets_moved_per_slot()}")
+    print()
+
+    # A uniformly random permutation routes in exactly the same number of slots.
+    rng = random.Random(2002)
+    pi = random_permutation(network.n, rng)
+    metrics = measure_routing(network, pi)
+    print("uniform random permutation")
+    print(f"  slots used          : {metrics.slots}")
+    print(f"  meets Theorem 2     : {metrics.meets_theorem2_bound}")
+    print(f"  coupler utilisation : {metrics.mean_coupler_utilisation:.2f}")
+    print()
+
+    # ------------------------------------------------- the paper's Figure 3 example
+    example_network = POPSNetwork(3, 3)
+    example = figure3_permutation()
+    example_plan = PermutationRouter(example_network).route(example)
+    POPSSimulator(example_network).route_and_verify(
+        example_plan.schedule, example_plan.packets
+    )
+    print("Figure 3 example on POPS(3, 3)")
+    print(f"  slots used          : {example_plan.n_slots}")
+    assert example_plan.fair_distribution is not None
+    intermediate = [
+        example_plan.intermediate_assignment[p] for p in example_network.processors()
+    ]
+    print(f"  intermediate groups : {intermediate}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in offline environments whose setuptools
+predates native PEP 660 editable installs (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Analysis layer: metrics, experiment runners, and plain-text reporting.
+
+The experiment runners in :mod:`~repro.analysis.experiments` are the single
+source of truth for every entry of EXPERIMENTS.md; the benchmarks under
+``benchmarks/`` and the command-line interface both call into them.
+"""
+
+from repro.analysis.metrics import (
+    RoutingMetrics,
+    measure_routing,
+    slots_vs_bound,
+    coupler_utilisation,
+)
+from repro.analysis.reporting import format_table, format_experiment_report
+from repro.analysis.experiments import (
+    ExperimentResult,
+    run_theorem2_sweep,
+    run_figure3_example,
+    run_scaling_experiment,
+    run_lower_bound_experiment,
+    run_unification_experiment,
+    run_direct_comparison,
+    run_one_slot_fraction,
+    run_collectives_experiment,
+    ALL_EXPERIMENTS,
+)
+
+__all__ = [
+    "RoutingMetrics",
+    "measure_routing",
+    "slots_vs_bound",
+    "coupler_utilisation",
+    "format_table",
+    "format_experiment_report",
+    "ExperimentResult",
+    "run_theorem2_sweep",
+    "run_figure3_example",
+    "run_scaling_experiment",
+    "run_lower_bound_experiment",
+    "run_unification_experiment",
+    "run_direct_comparison",
+    "run_one_slot_fraction",
+    "run_collectives_experiment",
+    "ALL_EXPERIMENTS",
+]

@@ -1,0 +1,621 @@
+"""Experiment runners — one per entry of the experiment index in DESIGN.md.
+
+The paper is a theory paper: its "evaluation" consists of Theorems 1–2,
+Propositions 1–3, Remark 1 and the worked example of Figure 3.  Each runner
+below turns one of those claims into a measured table; EXPERIMENTS.md records
+paper-claim versus measured output, the benchmarks under ``benchmarks/`` wrap
+the runners in ``pytest-benchmark`` fixtures, and ``python -m repro`` prints
+their reports from the command line.
+
+All runners accept explicit size/seed parameters with small, fast defaults so
+they double as integration tests.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms.broadcast import execute_broadcast
+from repro.algorithms.matrix import cannon_matrix_multiply, distributed_transpose
+from repro.algorithms.prefix_sum import hypercube_prefix_sum
+from repro.algorithms.reduction import hypercube_allreduce
+from repro.analysis.metrics import measure_routing
+from repro.analysis.reporting import format_experiment_report
+from repro.patterns.families import (
+    all_hypercube_exchanges,
+    bit_reversal_permutation,
+    bpc_permutation,
+    figure3_permutation,
+    matrix_transpose_permutation,
+    mesh_column_shift,
+    mesh_row_shift,
+    perfect_shuffle,
+    vector_reversal,
+)
+from repro.patterns.generators import PermutationGenerator
+from repro.pops.packet import Packet
+from repro.pops.simulator import POPSSimulator
+from repro.pops.topology import POPSNetwork
+from repro.routing.baselines.blocked import BlockedPermutationRouter
+from repro.routing.baselines.direct import DirectRouter
+from repro.routing.fair_distribution import FairDistributionSolver
+from repro.routing.list_system import ListSystem
+from repro.routing.lower_bounds import (
+    is_group_blocked,
+    proposition1_lower_bound,
+    proposition2_lower_bound,
+    proposition3_lower_bound,
+)
+from repro.routing.one_slot import OneSlotRouter, is_one_slot_routable
+from repro.routing.permutation_router import PermutationRouter, theorem2_slot_bound
+from repro.utils.permutations import random_permutation
+from repro.utils.rng import resolve_rng
+
+__all__ = [
+    "ExperimentResult",
+    "run_theorem2_sweep",
+    "run_figure3_example",
+    "run_scaling_experiment",
+    "run_lower_bound_experiment",
+    "run_unification_experiment",
+    "run_direct_comparison",
+    "run_one_slot_fraction",
+    "run_collectives_experiment",
+    "ALL_EXPERIMENTS",
+]
+
+#: Default (d, g) sweep used by the permutation-routing experiments.  Covers
+#: all three regimes of Theorem 2 (d = 1, 1 < d <= g, d > g) plus the single
+#: group and single-processor-per-group corners.
+DEFAULT_CONFIGS: tuple[tuple[int, int], ...] = (
+    (1, 8),
+    (2, 8),
+    (4, 4),
+    (8, 8),
+    (6, 3),
+    (8, 4),
+    (9, 3),
+    (16, 4),
+    (5, 7),
+    (7, 5),
+    (12, 1),
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Measured output of one experiment."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    headers: list[str]
+    rows: list[list[Any]]
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def to_report(self) -> str:
+        """Render the result as a plain-text report."""
+        return format_experiment_report(
+            f"{self.experiment_id}: {self.title}",
+            self.claim,
+            self.headers,
+            self.rows,
+            self.notes,
+        )
+
+    @property
+    def all_pass(self) -> bool:
+        """True iff every row's final column (the per-row verdict) is truthy."""
+        return all(bool(row[-1]) for row in self.rows)
+
+
+# ---------------------------------------------------------------------------
+# E1 — Theorem 2 slot counts
+# ---------------------------------------------------------------------------
+
+
+def run_theorem2_sweep(
+    configs: Sequence[tuple[int, int]] = DEFAULT_CONFIGS,
+    trials: int = 3,
+    seed: int = 2002,
+    backend: str = "konig",
+) -> ExperimentResult:
+    """E1: the universal router uses exactly 1 / 2⌈d/g⌉ slots on random permutations.
+
+    Every routing is executed on the simulator and verified for delivery.
+    """
+    rng = resolve_rng(seed)
+    rows: list[list[Any]] = []
+    for d, g in configs:
+        network = POPSNetwork(d, g)
+        bound = theorem2_slot_bound(d, g)
+        slots_seen: set[int] = set()
+        verified = True
+        for _ in range(trials):
+            pi = random_permutation(network.n, rng)
+            metrics = measure_routing(network, pi, backend=backend)
+            slots_seen.add(metrics.slots)
+            verified = verified and metrics.meets_theorem2_bound
+        rows.append(
+            [d, g, network.n, bound, min(slots_seen), max(slots_seen), verified]
+        )
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Theorem 2 slot counts over a (d, g) sweep",
+        claim="any permutation routes in 1 slot (d=1) or 2*ceil(d/g) slots (d>1)",
+        headers=["d", "g", "n", "bound", "min slots", "max slots", "matches bound"],
+        rows=rows,
+        notes={"trials per configuration": trials, "backend": backend},
+    )
+
+
+# ---------------------------------------------------------------------------
+# E2 — Figure 3 worked example
+# ---------------------------------------------------------------------------
+
+
+def run_figure3_example(backend: str = "konig") -> ExperimentResult:
+    """E2: the POPS(3,3) example of Figure 3 routes in two slots via a fair distribution."""
+    network = POPSNetwork(3, 3)
+    pi = figure3_permutation()
+    router = PermutationRouter(network, backend=backend)
+    plan = router.route(pi)
+    simulator = POPSSimulator(network)
+    simulator.route_and_verify(plan.schedule, plan.packets)
+
+    system = ListSystem.from_permutation(pi, 3, 3)
+    distribution = plan.fair_distribution
+    assert distribution is not None
+    rows = []
+    for h in range(3):
+        for i in range(3):
+            source = network.processor(h, i)
+            rows.append(
+                [
+                    source,
+                    network.group_of(pi[source]),
+                    distribution(h, i),
+                    pi[source],
+                    True,
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Figure 3 worked example on POPS(3,3)",
+        claim="one slot reaches a fair distribution, a second delivers (2 slots total)",
+        headers=[
+            "source processor",
+            "destination group",
+            "intermediate group",
+            "destination processor",
+            "delivered",
+        ],
+        rows=rows,
+        notes={
+            "slots used": plan.n_slots,
+            "theorem 2 bound": theorem2_slot_bound(3, 3),
+            "list system proper": system.is_proper(),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# E3 — Remark 1 scaling of the fair-distribution computation
+# ---------------------------------------------------------------------------
+
+
+def run_scaling_experiment(
+    g_values: Sequence[int] = (4, 8, 16, 32),
+    backends: Sequence[str] = ("konig", "euler"),
+    trials: int = 3,
+    seed: int = 7,
+) -> ExperimentResult:
+    """E3: fair-distribution computation time vs g (d = g) for both backends.
+
+    Remark 1 quotes O(g^3) (Schrijver-style) and O(g^2 log g) (Kapoor–Rizzi /
+    Rizzi) bottlenecks; this experiment reports measured times so the growth
+    *shape* can be compared.  Absolute times depend on the Python substrate.
+    """
+    rng = resolve_rng(seed)
+    rows: list[list[Any]] = []
+    for g in g_values:
+        network = POPSNetwork(g, g)
+        durations: dict[str, list[float]] = {backend: [] for backend in backends}
+        for _ in range(trials):
+            pi = random_permutation(network.n, rng)
+            system = ListSystem.from_permutation(pi, g, g)
+            for backend in backends:
+                solver = FairDistributionSolver(backend=backend, verify=False)
+                start = time.perf_counter()
+                solver.solve(system)
+                durations[backend].append(time.perf_counter() - start)
+        row: list[Any] = [g, network.n]
+        for backend in backends:
+            row.append(sum(durations[backend]) / len(durations[backend]))
+        row.append(True)
+        rows.append(row)
+    headers = ["g (=d)", "n"] + [f"mean seconds ({b})" for b in backends] + ["completed"]
+    return ExperimentResult(
+        experiment_id="E3",
+        title="Remark 1: cost of computing the fair distribution",
+        claim="bottleneck is 1-factorisation: O(g^3) or O(g^2 log g) for d = g",
+        headers=headers,
+        rows=rows,
+        notes={"trials per size": trials},
+    )
+
+
+# ---------------------------------------------------------------------------
+# E4 — Propositions 1–3 lower bounds
+# ---------------------------------------------------------------------------
+
+
+def run_lower_bound_experiment(
+    configs: Sequence[tuple[int, int]] = ((4, 4), (8, 4), (9, 3), (6, 6), (16, 4)),
+    trials: int = 3,
+    seed: int = 11,
+    backend: str = "konig",
+) -> ExperimentResult:
+    """E4: measured slots versus the lower bounds of Propositions 1–3.
+
+    Three workload classes are used: derangements (Prop. 1), group-moving
+    group-blocked permutations (Prop. 2, where Theorem 2 is exactly optimal),
+    and fixed-point-free within-group permutations (Prop. 3's hypotheses with
+    the group map equal to the identity).
+    """
+    rows: list[list[Any]] = []
+    for d, g in configs:
+        network = POPSNetwork(d, g)
+        generator = PermutationGenerator(network, seed)
+        for kind in ("derangement", "group_moving_blocked", "within_group_derangement"):
+            for _ in range(trials):
+                if kind == "derangement":
+                    pi = generator.derangement()
+                    bound = proposition1_lower_bound(network, pi)
+                elif kind == "group_moving_blocked":
+                    if g < 2:
+                        continue
+                    pi = generator.group_moving_blocked()
+                    bound = proposition2_lower_bound(network, pi)
+                else:
+                    if d < 2:
+                        continue
+                    pi = _within_group_derangement(network, generator)
+                    bound = proposition3_lower_bound(network, pi)
+                if bound is None:
+                    continue
+                metrics = measure_routing(network, pi, backend=backend)
+                rows.append(
+                    [
+                        d,
+                        g,
+                        kind,
+                        bound,
+                        metrics.slots,
+                        metrics.theorem2_bound,
+                        metrics.slots >= bound and metrics.meets_theorem2_bound,
+                    ]
+                )
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Propositions 1-3: measured slots vs lower bounds",
+        claim=(
+            "slots >= ceil(d/g) for derangements; = 2*ceil(d/g) (optimal) for "
+            "group-moving blocked permutations; >= 2*ceil(d/(1+g)) for blocked derangements"
+        ),
+        headers=["d", "g", "workload", "lower bound", "slots", "theorem2 bound", "consistent"],
+        rows=rows,
+        notes={"trials per class": trials},
+    )
+
+
+def _within_group_derangement(
+    network: POPSNetwork, generator: PermutationGenerator
+) -> list[int]:
+    """A fixed-point-free permutation whose group map is the identity."""
+    from repro.utils.permutations import random_derangement
+
+    rng = generator._rng
+    d, g = network.d, network.g
+    pi = [0] * network.n
+    for h in range(g):
+        local = random_derangement(d, rng)
+        for i in range(d):
+            pi[h * d + i] = h * d + local[i]
+    return pi
+
+
+# ---------------------------------------------------------------------------
+# E5 — unification of the specialised results
+# ---------------------------------------------------------------------------
+
+
+def run_unification_experiment(backend: str = "konig") -> ExperimentResult:
+    """E5: the universal router matches every specialised slot count from Section 2.
+
+    Hypercube dimension exchanges and mesh row/column shifts ([Sahni 2000b]),
+    vector reversal, BPC permutations and matrix transpose ([Sahni 2000a]) are
+    all routed by the universal router; the transpose additionally gets the
+    ``⌈d/g⌉`` single-hop schedule of the direct baseline.
+    """
+    rows: list[list[Any]] = []
+
+    def check(
+        family: str, d: int, g: int, pi: list[int], expected: int, method: str = "router"
+    ) -> None:
+        network = POPSNetwork(d, g)
+        if method == "router":
+            metrics = measure_routing(network, pi, backend=backend)
+            slots = metrics.slots
+        else:
+            direct = DirectRouter(network)
+            schedule = direct.route(pi)
+            packets = [Packet(source=i, destination=pi[i]) for i in range(network.n)]
+            POPSSimulator(network).route_and_verify(schedule, packets)
+            slots = schedule.n_slots
+        rows.append([family, d, g, method, expected, slots, slots == expected])
+
+    # Hypercube dimension exchanges: every bit, on d <= g and d > g networks.
+    for d, g in ((4, 8), (8, 4)):
+        n = d * g
+        for bit, pi in enumerate(all_hypercube_exchanges(n)):
+            check(f"hypercube bit {bit}", d, g, pi, theorem2_slot_bound(d, g))
+
+    # Mesh row/column shifts on a 6x6 mesh (N^2 = 36, d = 6 divides N).
+    side = 6
+    for d, g in ((6, 6), (4, 9), (9, 4)):
+        if d * g != side * side:
+            continue
+        check("mesh row +1", d, g, mesh_row_shift(side), theorem2_slot_bound(d, g))
+        check("mesh col +1", d, g, mesh_column_shift(side), theorem2_slot_bound(d, g))
+
+    # Vector reversal ([Sahni 2000a]): 2*ceil(d/g), optimal for even g.
+    for d, g in ((4, 4), (8, 4), (3, 9)):
+        check("vector reversal", d, g, vector_reversal(d * g), theorem2_slot_bound(d, g))
+
+    # BPC permutations: perfect shuffle, bit reversal, and a mixed instance.
+    for d, g in ((4, 8), (8, 4)):
+        n = d * g
+        check("perfect shuffle", d, g, perfect_shuffle(n), theorem2_slot_bound(d, g))
+        check("bit reversal", d, g, bit_reversal_permutation(n), theorem2_slot_bound(d, g))
+        k = n.bit_length() - 1
+        order = list(range(1, k)) + [0]
+        check(
+            "BPC rotate+complement",
+            d,
+            g,
+            bpc_permutation(n, order, complement_mask=1),
+            theorem2_slot_bound(d, g),
+        )
+
+    # Matrix transpose ([Sahni 2000a]): ceil(d/g) slots via the direct schedule.
+    for m, d, g in ((6, 6, 6), (8, 16, 4), (8, 4, 16)):
+        pi = matrix_transpose_permutation(m)
+        check("matrix transpose", d, g, pi, max(1, ceil(d / g)), method="direct")
+
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Unification of the specialised routings of Section 2",
+        claim=(
+            "hypercube/mesh steps, vector reversal and BPC permutations route in "
+            "2*ceil(d/g) slots; matrix transpose in ceil(d/g) single-hop slots"
+        ),
+        headers=["family", "d", "g", "method", "expected slots", "slots", "matches"],
+        rows=rows,
+        notes={},
+    )
+
+
+# ---------------------------------------------------------------------------
+# E6 — universal router vs single-hop baseline
+# ---------------------------------------------------------------------------
+
+
+def run_direct_comparison(
+    configs: Sequence[tuple[int, int]] = ((4, 4), (8, 4), (16, 4), (32, 4), (8, 8), (16, 8)),
+    trials: int = 3,
+    seed: int = 23,
+    backend: str = "konig",
+) -> ExperimentResult:
+    """E6: two-hop universal routing vs the single-hop baseline.
+
+    On group-blocked traffic the direct baseline needs ``d`` slots while the
+    universal router keeps its ``2⌈d/g⌉`` guarantee; on uniform random traffic
+    the direct baseline is usually competitive.  The crossover is the point the
+    paper's worst-case guarantee is about.
+    """
+    rows: list[list[Any]] = []
+    for d, g in configs:
+        network = POPSNetwork(d, g)
+        generator = PermutationGenerator(network, seed)
+        for kind in ("group_blocked", "uniform"):
+            universal_slots: list[int] = []
+            direct_slots: list[int] = []
+            for _ in range(trials):
+                pi = (
+                    generator.group_blocked()
+                    if kind == "group_blocked"
+                    else generator.uniform()
+                )
+                metrics = measure_routing(network, pi, backend=backend)
+                universal_slots.append(metrics.slots)
+                direct_slots.append(DirectRouter(network).slots_required(pi))
+            mean_universal = sum(universal_slots) / len(universal_slots)
+            mean_direct = sum(direct_slots) / len(direct_slots)
+            rows.append(
+                [
+                    d,
+                    g,
+                    kind,
+                    mean_universal,
+                    mean_direct,
+                    mean_direct / mean_universal,
+                    mean_universal <= theorem2_slot_bound(d, g),
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="E6",
+        title="Universal two-hop router vs direct single-hop baseline",
+        claim="2*ceil(d/g) always; direct routing degrades to d slots on blocked traffic",
+        headers=[
+            "d",
+            "g",
+            "workload",
+            "universal slots (mean)",
+            "direct slots (mean)",
+            "direct/universal",
+            "within bound",
+        ],
+        rows=rows,
+        notes={"trials per point": trials},
+    )
+
+
+# ---------------------------------------------------------------------------
+# E7 — single-slot routability
+# ---------------------------------------------------------------------------
+
+
+def run_one_slot_fraction(
+    configs: Sequence[tuple[int, int]] = ((1, 8), (2, 4), (2, 8), (4, 4), (3, 9)),
+    trials: int = 200,
+    seed: int = 31,
+) -> ExperimentResult:
+    """E7: how rare single-slot routable permutations are, and that the one-slot
+    router handles exactly that class (Fact 1 / Gravenstreter–Melhem)."""
+    rng = resolve_rng(seed)
+    rows: list[list[Any]] = []
+    for d, g in configs:
+        network = POPSNetwork(d, g)
+        routable = 0
+        verified = True
+        for _ in range(trials):
+            pi = random_permutation(network.n, rng)
+            if is_one_slot_routable(network, pi):
+                routable += 1
+                router = OneSlotRouter(network)
+                schedule = router.route(pi)
+                packets = [Packet(source=i, destination=pi[i]) for i in range(network.n)]
+                POPSSimulator(network).route_and_verify(schedule, packets)
+                verified = verified and schedule.n_slots == 1
+        rows.append([d, g, network.n, trials, routable, routable / trials, verified])
+    return ExperimentResult(
+        experiment_id="E7",
+        title="Fraction of permutations routable in a single slot",
+        claim="only permutations with no same-group/same-destination-group pair need 1 slot",
+        headers=["d", "g", "n", "samples", "routable", "fraction", "verified"],
+        rows=rows,
+        notes={},
+    )
+
+
+# ---------------------------------------------------------------------------
+# E8 — collective algorithms on top of the router
+# ---------------------------------------------------------------------------
+
+
+def run_collectives_experiment(backend: str = "konig", seed: int = 41) -> ExperimentResult:
+    """E8: the algorithm catalogue built on the universal router.
+
+    Broadcast (1 slot), all-reduce and prefix sum (2⌈d/g⌉·log2 n slots), matrix
+    transpose (router vs direct) and Cannon matrix multiplication, each
+    executed on the simulator and checked against a local reference.
+    """
+    rng = resolve_rng(seed)
+    rows: list[list[Any]] = []
+
+    # Broadcast: 1 slot on any network.
+    network = POPSNetwork(4, 4)
+    values, slots = execute_broadcast(network, speaker=5, payload="token")
+    rows.append(
+        ["one-to-all broadcast", 4, 4, 1, slots, all(v == "token" for v in values)]
+    )
+
+    # All-reduce and prefix sum on d <= g and d > g networks.
+    for d, g in ((4, 8), (8, 4)):
+        network = POPSNetwork(d, g)
+        n = network.n
+        data = [rng.randint(0, 100) for _ in range(n)]
+        log_n = n.bit_length() - 1
+        expected_slots = theorem2_slot_bound(d, g) * log_n
+
+        reduced, slots = hypercube_allreduce(network, data, lambda a, b: a + b, backend)
+        rows.append(
+            [
+                "hypercube all-reduce",
+                d,
+                g,
+                expected_slots,
+                slots,
+                all(value == sum(data) for value in reduced),
+            ]
+        )
+
+        prefixes, slots = hypercube_prefix_sum(network, data, backend=backend)
+        expected_prefix = list(np.cumsum(data))
+        rows.append(
+            [
+                "hypercube prefix sum",
+                d,
+                g,
+                expected_slots,
+                slots,
+                [int(p) for p in prefixes] == [int(p) for p in expected_prefix],
+            ]
+        )
+
+    # Matrix transpose: router (2*ceil(d/g)) and direct (ceil(d/g)).
+    network = POPSNetwork(6, 6)
+    matrix = np.arange(36).reshape(6, 6)
+    transposed, slots = distributed_transpose(network, matrix, method="router", backend=backend)
+    rows.append(
+        ["transpose (router)", 6, 6, theorem2_slot_bound(6, 6), slots, bool((transposed == matrix.T).all())]
+    )
+    transposed, slots = distributed_transpose(network, matrix, method="direct")
+    rows.append(["transpose (direct)", 6, 6, 1, slots, bool((transposed == matrix.T).all())])
+
+    # Cannon matrix multiplication on a 4x4 mesh of 16 processors.
+    network = POPSNetwork(4, 4)
+    a = np.array([[rng.uniform(-1, 1) for _ in range(4)] for _ in range(4)])
+    b = np.array([[rng.uniform(-1, 1) for _ in range(4)] for _ in range(4)])
+    product, slots = cannon_matrix_multiply(network, a, b, backend=backend)
+    expected_cannon_slots = theorem2_slot_bound(4, 4) * (2 + 2 * 3)
+    rows.append(
+        [
+            "Cannon matrix multiply",
+            4,
+            4,
+            expected_cannon_slots,
+            slots,
+            bool(np.allclose(product, a @ b)),
+        ]
+    )
+
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Collective algorithms built on the universal router",
+        claim="every collective decomposes into permutations, each 2*ceil(d/g) slots",
+        headers=["algorithm", "d", "g", "expected slots", "slots", "correct"],
+        rows=rows,
+        notes={},
+    )
+
+
+#: Registry used by the CLI: experiment id -> zero-argument runner.
+ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "E1": run_theorem2_sweep,
+    "E2": run_figure3_example,
+    "E3": run_scaling_experiment,
+    "E4": run_lower_bound_experiment,
+    "E5": run_unification_experiment,
+    "E6": run_direct_comparison,
+    "E7": run_one_slot_fraction,
+    "E8": run_collectives_experiment,
+}

@@ -1,0 +1,82 @@
+"""Routing metrics: slot counts, bound ratios, coupler utilisation.
+
+These helpers wrap "route the permutation, simulate the schedule, verify
+delivery, and summarise" into one call, so experiments never accidentally
+report slot counts of schedules that were not actually validated end to end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.pops.simulator import POPSSimulator
+from repro.pops.topology import POPSNetwork
+from repro.routing.lower_bounds import best_known_lower_bound
+from repro.routing.permutation_router import (
+    PermutationRouter,
+    theorem2_slot_bound,
+)
+
+__all__ = ["RoutingMetrics", "measure_routing", "slots_vs_bound", "coupler_utilisation"]
+
+
+@dataclass(frozen=True)
+class RoutingMetrics:
+    """Summary of one verified permutation routing."""
+
+    d: int
+    g: int
+    n: int
+    slots: int
+    theorem2_bound: int
+    lower_bound: int
+    couplers_used_total: int
+    mean_coupler_utilisation: float
+
+    @property
+    def meets_theorem2_bound(self) -> bool:
+        """True iff the measured slot count equals Theorem 2's guarantee."""
+        return self.slots == self.theorem2_bound
+
+    @property
+    def optimality_ratio(self) -> float:
+        """Measured slots divided by the best applicable lower bound (inf if no bound)."""
+        if self.lower_bound == 0:
+            return float("inf")
+        return self.slots / self.lower_bound
+
+
+def measure_routing(
+    network: POPSNetwork,
+    pi: Sequence[int],
+    backend: str = "konig",
+    verify: bool = True,
+) -> RoutingMetrics:
+    """Route ``pi`` with the universal router, simulate, verify, and summarise."""
+    router = PermutationRouter(network, backend=backend, verify=verify)
+    plan = router.route(pi)
+    simulator = POPSSimulator(network)
+    result = simulator.route_and_verify(plan.schedule, plan.packets)
+    return RoutingMetrics(
+        d=network.d,
+        g=network.g,
+        n=network.n,
+        slots=plan.n_slots,
+        theorem2_bound=theorem2_slot_bound(network.d, network.g),
+        lower_bound=best_known_lower_bound(network, pi),
+        couplers_used_total=result.trace.total_packets_moved,
+        mean_coupler_utilisation=result.trace.mean_coupler_utilisation(
+            network.n_couplers
+        ),
+    )
+
+
+def slots_vs_bound(network: POPSNetwork, slots: int) -> float:
+    """Ratio of measured slots to Theorem 2's bound for ``network``."""
+    return slots / theorem2_slot_bound(network.d, network.g)
+
+
+def coupler_utilisation(network: POPSNetwork, pi: Sequence[int], backend: str = "konig") -> float:
+    """Mean fraction of couplers busy per slot for the routed permutation."""
+    return measure_routing(network, pi, backend=backend).mean_coupler_utilisation

@@ -1,0 +1,58 @@
+"""Plain-text reporting helpers.
+
+The benchmark harness and the CLI print the rows an evaluation table would
+contain; these helpers format them consistently (fixed-width ASCII tables,
+no third-party dependencies).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+__all__ = ["format_table", "format_experiment_report"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    header_cells = [str(h) for h in headers]
+    body = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    lines = [render_row(header_cells), separator]
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def format_experiment_report(
+    title: str,
+    claim: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: Mapping[str, Any] | None = None,
+) -> str:
+    """Render one experiment (title, paper claim, measured table, notes)."""
+    lines = [f"== {title} ==", f"Paper claim: {claim}", ""]
+    lines.append(format_table(headers, rows))
+    if notes:
+        lines.append("")
+        for key, value in notes.items():
+            lines.append(f"{key}: {_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Command-line interface: run the reproduction experiments from a terminal.
+
+Examples
+--------
+Run every experiment and print their reports::
+
+    pops-repro run-all
+
+Run a single experiment::
+
+    pops-repro run E1
+
+Route a named permutation family on a chosen network and show the metrics::
+
+    pops-repro route --d 8 --g 4 --family vector_reversal
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.analysis.metrics import measure_routing
+from repro.patterns.families import NAMED_FAMILIES, family_by_name
+from repro.pops.topology import POPSNetwork
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``pops-repro`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="pops-repro",
+        description=(
+            "Reproduction of 'Routing Permutations in Partitioned Optical "
+            "Passive Stars Networks' (Mei & Rizzi, IPPS 2002)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one experiment by id (E1..E8)")
+    run.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS))
+
+    subparsers.add_parser("run-all", help="run every experiment")
+
+    route = subparsers.add_parser(
+        "route", help="route one permutation family and print the metrics"
+    )
+    route.add_argument("--d", type=int, required=True, help="processors per group")
+    route.add_argument("--g", type=int, required=True, help="number of groups")
+    route.add_argument(
+        "--family",
+        choices=sorted(NAMED_FAMILIES),
+        default="vector_reversal",
+        help="named permutation family to route",
+    )
+    route.add_argument(
+        "--backend",
+        choices=("konig", "euler"),
+        default="konig",
+        help="edge-colouring backend for the fair distribution",
+    )
+
+    subparsers.add_parser("list", help="list experiments and permutation families")
+    return parser
+
+
+def _command_run(experiment: str) -> int:
+    result = ALL_EXPERIMENTS[experiment]()
+    print(result.to_report())
+    return 0 if result.all_pass else 1
+
+
+def _command_run_all() -> int:
+    status = 0
+    for experiment_id in sorted(ALL_EXPERIMENTS):
+        result = ALL_EXPERIMENTS[experiment_id]()
+        print(result.to_report())
+        print()
+        if not result.all_pass:
+            status = 1
+    return status
+
+
+def _command_route(d: int, g: int, family: str, backend: str) -> int:
+    network = POPSNetwork(d, g)
+    pi = family_by_name(family, network.n)
+    metrics = measure_routing(network, pi, backend=backend)
+    print(f"network          : POPS(d={d}, g={g}), n={network.n}")
+    print(f"family           : {family}")
+    print(f"slots used       : {metrics.slots}")
+    print(f"theorem 2 bound  : {metrics.theorem2_bound}")
+    print(f"lower bound      : {metrics.lower_bound}")
+    print(f"coupler use/slot : {metrics.mean_coupler_utilisation:.3f}")
+    return 0 if metrics.meets_theorem2_bound else 1
+
+
+def _command_list() -> int:
+    print("experiments:")
+    for experiment_id, runner in sorted(ALL_EXPERIMENTS.items()):
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print(f"  {experiment_id}: {doc}")
+    print("permutation families:")
+    for name in sorted(NAMED_FAMILIES):
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args.experiment)
+    if args.command == "run-all":
+        return _command_run_all()
+    if args.command == "route":
+        return _command_route(args.d, args.g, args.family, args.backend)
+    if args.command == "list":
+        return _command_list()
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

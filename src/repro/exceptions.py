@@ -1,0 +1,111 @@
+"""Exception hierarchy for the POPS routing reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration problems (:class:`ConfigurationError`) from
+violations of the POPS communication model detected at simulation time
+(:class:`SimulationError` and its subclasses) and from internal invariant
+failures in the combinatorial machinery (:class:`GraphError`,
+:class:`RoutingError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ValidationError",
+    "GraphError",
+    "NotRegularError",
+    "NoPerfectMatchingError",
+    "EdgeColoringError",
+    "RoutingError",
+    "ImproperListSystemError",
+    "FairnessViolationError",
+    "NotRoutableInOneSlotError",
+    "SimulationError",
+    "CouplerConflictError",
+    "ReceiverConflictError",
+    "TransmitterError",
+    "DeliveryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a network, schedule or solver is mis-configured."""
+
+
+class ValidationError(ReproError):
+    """Raised when user-supplied data fails validation (e.g. not a permutation)."""
+
+
+# ---------------------------------------------------------------------------
+# Graph substrate
+# ---------------------------------------------------------------------------
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by :mod:`repro.graph`."""
+
+
+class NotRegularError(GraphError):
+    """Raised when an operation requires a regular (multi)graph but the input is not."""
+
+
+class NoPerfectMatchingError(GraphError):
+    """Raised when a perfect matching is required but none exists."""
+
+
+class EdgeColoringError(GraphError):
+    """Raised when an edge colouring cannot be produced or fails verification."""
+
+
+# ---------------------------------------------------------------------------
+# Routing layer
+# ---------------------------------------------------------------------------
+
+
+class RoutingError(ReproError):
+    """Base class for errors raised by :mod:`repro.routing`."""
+
+
+class ImproperListSystemError(RoutingError):
+    """Raised when a list system does not satisfy the properness conditions of Theorem 1."""
+
+
+class FairnessViolationError(RoutingError):
+    """Raised when an assignment claimed to be a fair distribution is not."""
+
+
+class NotRoutableInOneSlotError(RoutingError):
+    """Raised when a permutation is routed with the one-slot router but is not
+    single-slot routable (Gravenstreter–Melhem characterisation)."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation layer
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for violations of the POPS communication model."""
+
+
+class CouplerConflictError(SimulationError):
+    """Raised when two processors drive the same coupler in the same slot."""
+
+
+class ReceiverConflictError(SimulationError):
+    """Raised when a processor is asked to read more than one coupler in a slot."""
+
+
+class TransmitterError(SimulationError):
+    """Raised when a processor sends through a coupler it is not wired to."""
+
+
+class DeliveryError(SimulationError):
+    """Raised when, after executing a schedule, packets did not reach their destinations."""

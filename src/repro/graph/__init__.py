@@ -1,0 +1,47 @@
+"""Bipartite multigraph substrate.
+
+This package implements the combinatorial machinery behind Theorem 1 of the
+paper: bipartite multigraphs with multiplicity bookkeeping
+(:mod:`~repro.graph.multigraph`), maximum/perfect matching
+(:mod:`~repro.graph.matching`), Euler partitions and degree-halving splits
+(:mod:`~repro.graph.euler`), the padding construction that turns the list
+system graph into a regular bipartite multigraph
+(:mod:`~repro.graph.regularize`), and proper edge colourings of regular
+bipartite multigraphs via König's theorem
+(:mod:`~repro.graph.edge_coloring`).
+"""
+
+from repro.graph.multigraph import BipartiteMultigraph
+from repro.graph.matching import (
+    hopcroft_karp,
+    maximum_matching,
+    perfect_matching_regular,
+)
+from repro.graph.euler import euler_partition, euler_split
+from repro.graph.regularize import biregular_pad, pad_to_regular
+from repro.graph.edge_coloring import (
+    EdgeColoring,
+    konig_edge_coloring,
+    euler_split_edge_coloring,
+    edge_color,
+    verify_edge_coloring,
+)
+from repro.graph.degree_coloring import edge_color_bounded, embed_into_regular
+
+__all__ = [
+    "edge_color_bounded",
+    "embed_into_regular",
+    "BipartiteMultigraph",
+    "hopcroft_karp",
+    "maximum_matching",
+    "perfect_matching_regular",
+    "euler_partition",
+    "euler_split",
+    "biregular_pad",
+    "pad_to_regular",
+    "EdgeColoring",
+    "konig_edge_coloring",
+    "euler_split_edge_coloring",
+    "edge_color",
+    "verify_edge_coloring",
+]

@@ -1,0 +1,118 @@
+"""Edge colouring of arbitrary (not necessarily regular) bipartite multigraphs.
+
+König's edge-colouring theorem guarantees a proper colouring with ``Δ``
+colours for *any* bipartite multigraph of maximum degree ``Δ``; the regular
+case handled by :mod:`repro.graph.edge_coloring` is the special case where
+every colour class is a perfect matching.  The general case is needed by the
+h-relation router (:mod:`repro.routing.relation`): the traffic graph of an
+h-relation has maximum degree ``h`` but is rarely regular.
+
+The reduction is classical: embed the graph into a ``Δ``-regular bipartite
+multigraph on max(n_left, n_right) + padding vertices by repeatedly adding
+dummy edges between a left and a right vertex of (currently) minimum degree,
+colour the regular supergraph, and drop the dummy edges.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.exceptions import EdgeColoringError
+from repro.graph.edge_coloring import EdgeColoring, edge_color
+from repro.graph.multigraph import BipartiteMultigraph
+
+__all__ = ["edge_color_bounded", "embed_into_regular"]
+
+
+def embed_into_regular(graph: BipartiteMultigraph) -> tuple[BipartiteMultigraph, int]:
+    """Embed ``graph`` into a ``Δ``-regular bipartite multigraph.
+
+    The returned graph has ``max(n_left, n_right)`` vertices per side (the
+    original vertices keep their indices) and every vertex has degree exactly
+    ``Δ``, the maximum degree of the input.  Added edges are "dummy" edges; the
+    caller distinguishes them by comparing multiplicities with the original
+    graph.
+
+    Returns
+    -------
+    (regular_graph, delta)
+    """
+    delta = graph.max_degree()
+    if delta == 0:
+        raise EdgeColoringError("cannot embed an empty graph into a regular one")
+    size = max(graph.n_left, graph.n_right)
+    regular = BipartiteMultigraph(size, size)
+    for left, right, mult in graph.edges_with_multiplicity():
+        regular.add_edge(left, right, mult)
+
+    # Repeatedly join the lowest-degree left vertex with the lowest-degree
+    # right vertex.  Both sides have the same total deficiency, and pairing the
+    # two minima never overshoots Δ, so the loop terminates with an exactly
+    # Δ-regular multigraph.
+    left_heap = [(regular.left_degree(v), v) for v in range(size)]
+    right_heap = [(regular.right_degree(v), v) for v in range(size)]
+    heapq.heapify(left_heap)
+    heapq.heapify(right_heap)
+
+    def pop_deficient(heap, degree_of) -> int | None:
+        while heap:
+            recorded_degree, vertex = heapq.heappop(heap)
+            current = degree_of(vertex)
+            if current != recorded_degree:
+                heapq.heappush(heap, (current, vertex))
+                continue
+            if current < delta:
+                return vertex
+            # Vertex already full: drop it permanently.
+        return None
+
+    while True:
+        left = pop_deficient(left_heap, regular.left_degree)
+        if left is None:
+            break
+        right = pop_deficient(right_heap, regular.right_degree)
+        if right is None:
+            raise EdgeColoringError(
+                "internal error: left side deficient but right side saturated"
+            )
+        missing = min(
+            delta - regular.left_degree(left), delta - regular.right_degree(right)
+        )
+        regular.add_edge(left, right, missing)
+        heapq.heappush(left_heap, (regular.left_degree(left), left))
+        heapq.heappush(right_heap, (regular.right_degree(right), right))
+
+    if not regular.is_regular() or regular.regular_degree() != delta:
+        raise EdgeColoringError("embedding failed to produce a Δ-regular multigraph")
+    return regular, delta
+
+
+def edge_color_bounded(
+    graph: BipartiteMultigraph, backend: str = "konig"
+) -> EdgeColoring:
+    """Properly edge-colour an arbitrary bipartite multigraph with ``Δ`` colours.
+
+    The result's colour classes are matchings of the *original* graph (dummy
+    edges introduced by the regular embedding are removed); class sizes are in
+    general unequal.
+    """
+    regular, delta = embed_into_regular(graph)
+    full_coloring = edge_color(regular, backend=backend)
+
+    # Keep, for every original edge, exactly as many coloured copies as its
+    # original multiplicity (the embedding may have added parallel dummies on
+    # top of existing edges as well as brand-new pairs).
+    remaining = {
+        (left, right): mult for left, right, mult in graph.edges_with_multiplicity()
+    }
+    classes: list[list[tuple[int, int]]] = []
+    for edges in full_coloring.classes:
+        kept: list[tuple[int, int]] = []
+        for edge in edges:
+            if remaining.get(edge, 0) > 0:
+                kept.append(edge)
+                remaining[edge] -= 1
+        classes.append(kept)
+    if any(count > 0 for count in remaining.values()):
+        raise EdgeColoringError("general edge colouring dropped original edges")
+    return EdgeColoring(n_colors=delta, classes=classes)

@@ -1,0 +1,187 @@
+"""Proper edge colourings of regular bipartite multigraphs.
+
+König's edge-colouring theorem states that a bipartite multigraph of maximum
+degree ``Δ`` admits a proper edge colouring with ``Δ`` colours; for a
+``Δ``-regular bipartite multigraph the colour classes are perfect matchings
+(a 1-factorisation).  Theorem 1 of the paper reduces the fair-distribution
+problem to exactly this 1-factorisation, and Remark 1 cites the
+``O(Δ m)`` algorithm of Schrijver and the near-linear algorithms of
+Kapoor–Rizzi/Rizzi as the computational bottleneck.
+
+Two complete backends are provided (both exact, differing only in running
+time), selectable by name through :func:`edge_color`:
+
+``"konig"``
+    Repeatedly extract a perfect matching with Hopcroft–Karp and remove it.
+    Simple and robust; ``O(Δ · E · sqrt(V))``.
+
+``"euler"``
+    A Gabow-style recursion: when the degree is even, an Euler split halves the
+    degree and the two halves are coloured recursively; when the degree is odd,
+    one perfect matching is peeled first.  Matches the spirit of the algorithms
+    cited in Remark 1 and is markedly faster for large degrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import EdgeColoringError
+from repro.graph.euler import euler_split
+from repro.graph.matching import perfect_matching_regular
+from repro.graph.multigraph import BipartiteMultigraph
+
+__all__ = [
+    "EdgeColoring",
+    "konig_edge_coloring",
+    "euler_split_edge_coloring",
+    "edge_color",
+    "verify_edge_coloring",
+    "COLORING_BACKENDS",
+]
+
+
+@dataclass
+class EdgeColoring:
+    """A proper edge colouring of a regular bipartite multigraph.
+
+    Attributes
+    ----------
+    n_colors:
+        Number of colours used (equals the regular degree of the graph).
+    classes:
+        ``classes[c]`` is the list of ``(left, right)`` edge instances coloured
+        ``c``; for a regular graph each class is a perfect matching.
+    """
+
+    n_colors: int
+    classes: list[list[tuple[int, int]]] = field(default_factory=list)
+
+    def color_of_class(self, color: int) -> dict[int, int]:
+        """Return colour class ``color`` as a ``left -> right`` mapping."""
+        return dict(self.classes[color])
+
+    def as_edge_map(self) -> dict[tuple[int, int], list[int]]:
+        """Return ``(left, right) -> [colours]`` with one colour per parallel copy."""
+        mapping: dict[tuple[int, int], list[int]] = {}
+        for color, edges in enumerate(self.classes):
+            for edge in edges:
+                mapping.setdefault(edge, []).append(color)
+        return mapping
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of coloured edge instances."""
+        return sum(len(edges) for edges in self.classes)
+
+
+def konig_edge_coloring(graph: BipartiteMultigraph) -> EdgeColoring:
+    """1-factorise a regular bipartite multigraph by repeated perfect matching."""
+    degree = graph.regular_degree()
+    working = graph.copy()
+    classes: list[list[tuple[int, int]]] = []
+    for _ in range(degree):
+        matching = perfect_matching_regular(working)
+        classes.append(sorted(matching.items()))
+        working.remove_matching(matching)
+    if working.n_edges != 0:
+        raise EdgeColoringError("König colouring left uncoloured edges behind")
+    return EdgeColoring(n_colors=degree, classes=classes)
+
+
+def euler_split_edge_coloring(graph: BipartiteMultigraph) -> EdgeColoring:
+    """1-factorise a regular bipartite multigraph by Euler splitting (Gabow style).
+
+    Even degrees are halved with an Euler split and the halves are coloured
+    recursively; odd degrees peel a single perfect matching first.
+    """
+    degree = graph.regular_degree()
+    classes = _euler_color_recursive(graph.copy(), degree)
+    coloring = EdgeColoring(n_colors=degree, classes=classes)
+    if coloring.n_edges != graph.n_edges:
+        raise EdgeColoringError("Euler-split colouring lost or duplicated edges")
+    return coloring
+
+
+def _euler_color_recursive(
+    graph: BipartiteMultigraph, degree: int
+) -> list[list[tuple[int, int]]]:
+    if degree == 0:
+        return []
+    if degree == 1:
+        return [list(graph.edge_instances())]
+    if degree % 2 == 1:
+        matching = perfect_matching_regular(graph)
+        graph.remove_matching(matching)
+        rest = _euler_color_recursive(graph, degree - 1)
+        return [sorted(matching.items())] + rest
+    first, second = euler_split(graph)
+    return _euler_color_recursive(first, degree // 2) + _euler_color_recursive(
+        second, degree // 2
+    )
+
+
+COLORING_BACKENDS = {
+    "konig": konig_edge_coloring,
+    "euler": euler_split_edge_coloring,
+}
+
+
+def edge_color(graph: BipartiteMultigraph, backend: str = "konig") -> EdgeColoring:
+    """Edge-colour a regular bipartite multigraph with the chosen backend.
+
+    Parameters
+    ----------
+    graph:
+        A regular bipartite multigraph.
+    backend:
+        ``"konig"`` or ``"euler"`` (see module docstring).
+    """
+    try:
+        algorithm = COLORING_BACKENDS[backend]
+    except KeyError:
+        raise EdgeColoringError(
+            f"unknown edge-colouring backend {backend!r}; "
+            f"available: {sorted(COLORING_BACKENDS)}"
+        ) from None
+    return algorithm(graph)
+
+
+def verify_edge_coloring(graph: BipartiteMultigraph, coloring: EdgeColoring) -> None:
+    """Verify that ``coloring`` is a proper edge colouring of ``graph``.
+
+    Checks that (a) the multiset of coloured edges equals the multiset of edges
+    of ``graph`` and (b) within each colour class no vertex appears twice.
+
+    Raises
+    ------
+    EdgeColoringError
+        If any check fails.
+    """
+    counted: dict[tuple[int, int], int] = {}
+    for color, edges in enumerate(coloring.classes):
+        lefts_seen: set[int] = set()
+        rights_seen: set[int] = set()
+        for left, right in edges:
+            if left in lefts_seen:
+                raise EdgeColoringError(
+                    f"colour {color} uses left vertex {left} more than once"
+                )
+            if right in rights_seen:
+                raise EdgeColoringError(
+                    f"colour {color} uses right vertex {right} more than once"
+                )
+            lefts_seen.add(left)
+            rights_seen.add(right)
+            counted[(left, right)] = counted.get((left, right), 0) + 1
+
+    expected = {
+        (left, right): mult for left, right, mult in graph.edges_with_multiplicity()
+    }
+    if counted != expected:
+        missing = {e: m for e, m in expected.items() if counted.get(e, 0) != m}
+        extra = {e: m for e, m in counted.items() if expected.get(e, 0) != m}
+        raise EdgeColoringError(
+            f"colouring does not match graph edges; mismatched (expected) {missing}, "
+            f"(coloured) {extra}"
+        )

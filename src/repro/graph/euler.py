@@ -1,0 +1,144 @@
+"""Euler partitions and degree-halving splits of bipartite multigraphs.
+
+The classical fast edge-colouring algorithms for regular bipartite graphs
+(Gabow; Cole–Ost–Schirra; Kapoor–Rizzi; Rizzi — the latter two are the ones
+cited in Remark 1 of the paper) rely on *Euler splits*: when every vertex has
+even degree, the edge set decomposes into closed trails, and colouring edges
+of each trail alternately yields two sub-multigraphs in which every vertex
+degree is exactly halved.  Applying the split recursively colours a
+``2^k``-regular graph in ``k`` rounds; for general degrees it is combined with
+perfect-matching extraction (see :mod:`repro.graph.edge_coloring`).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphError
+from repro.graph.multigraph import BipartiteMultigraph
+
+__all__ = ["euler_partition", "euler_split"]
+
+
+def euler_partition(graph: BipartiteMultigraph) -> list[list[tuple[int, int]]]:
+    """Partition the edge instances of ``graph`` into trails.
+
+    Every vertex of odd degree is the endpoint of exactly one open trail; if
+    all degrees are even the partition consists of closed trails only.  Each
+    trail is returned as a list of ``(left, right)`` edge instances in
+    traversal order.
+    """
+    # Mutable multiplicity map and per-vertex iteration state.
+    remaining = {
+        (left, right): mult
+        for left, right, mult in graph.edges_with_multiplicity()
+    }
+    left_adj: list[dict[int, int]] = [dict() for _ in range(graph.n_left)]
+    right_adj: list[dict[int, int]] = [dict() for _ in range(graph.n_right)]
+    for (left, right), mult in remaining.items():
+        left_adj[left][right] = mult
+        right_adj[right][left] = mult
+
+    def consume(left: int, right: int) -> None:
+        remaining[(left, right)] -= 1
+        if remaining[(left, right)] == 0:
+            del remaining[(left, right)]
+        left_adj[left][right] -= 1
+        if left_adj[left][right] == 0:
+            del left_adj[left][right]
+        right_adj[right][left] -= 1
+        if right_adj[right][left] == 0:
+            del right_adj[right][left]
+
+    def walk_from(start: int, start_is_left: bool) -> list[tuple[int, int]]:
+        """Greedily walk unused edges starting at ``start`` until stuck."""
+        trail: list[tuple[int, int]] = []
+        vertex = start
+        is_left = start_is_left
+        while True:
+            adj = left_adj[vertex] if is_left else right_adj[vertex]
+            if not adj:
+                return trail
+            other = next(iter(adj))
+            edge = (vertex, other) if is_left else (other, vertex)
+            consume(*edge)
+            trail.append(edge)
+            vertex = other
+            is_left = not is_left
+
+    trails: list[list[tuple[int, int]]] = []
+
+    # Open trails first: start from odd-degree vertices so that they terminate
+    # at another odd-degree vertex, never in the middle of an even component.
+    for left in range(graph.n_left):
+        while graph.left_degree(left) % 2 == 1 and left_adj[left]:
+            trail = walk_from(left, True)
+            if trail:
+                trails.append(trail)
+            break
+    for right in range(graph.n_right):
+        while graph.right_degree(right) % 2 == 1 and right_adj[right]:
+            trail = walk_from(right, False)
+            if trail:
+                trails.append(trail)
+            break
+
+    # Greedy walks may still leave odd-degree vertices with unused edges (the
+    # first walk from an odd vertex uses only some of them); keep draining.
+    changed = True
+    while changed:
+        changed = False
+        for left in range(graph.n_left):
+            if left_adj[left]:
+                trail = walk_from(left, True)
+                if trail:
+                    trails.append(trail)
+                    changed = True
+
+    if remaining:
+        raise GraphError("euler_partition failed to consume every edge instance")
+    return trails
+
+
+def euler_split(
+    graph: BipartiteMultigraph,
+) -> tuple[BipartiteMultigraph, BipartiteMultigraph]:
+    """Split a multigraph in which every vertex has even degree into two halves.
+
+    Returns two multigraphs ``(g1, g2)`` on the same vertex sets such that each
+    vertex's degree is exactly half of its degree in ``graph``.  Edges of every
+    closed trail of an Euler partition are assigned alternately to the halves.
+
+    Raises
+    ------
+    GraphError
+        If some vertex has odd degree.
+    """
+    for left in range(graph.n_left):
+        if graph.left_degree(left) % 2 != 0:
+            raise GraphError(f"left vertex {left} has odd degree; cannot Euler-split")
+    for right in range(graph.n_right):
+        if graph.right_degree(right) % 2 != 0:
+            raise GraphError(f"right vertex {right} has odd degree; cannot Euler-split")
+
+    first = BipartiteMultigraph(graph.n_left, graph.n_right)
+    second = BipartiteMultigraph(graph.n_left, graph.n_right)
+    for trail in euler_partition(graph):
+        # With all degrees even every trail is closed and of even length, so
+        # alternating assignment splits each vertex's trail-degree evenly.
+        for index, (left, right) in enumerate(trail):
+            target = first if index % 2 == 0 else second
+            target.add_edge(left, right)
+
+    # Defensive verification: the split must halve every degree exactly.
+    for left in range(graph.n_left):
+        expected = graph.left_degree(left) // 2
+        if first.left_degree(left) != expected or second.left_degree(left) != expected:
+            raise GraphError(
+                f"euler_split produced unbalanced degrees at left vertex {left}"
+            )
+    for right in range(graph.n_right):
+        expected = graph.right_degree(right) // 2
+        if first.right_degree(right) != expected or second.right_degree(right) != expected:
+            raise GraphError(
+                f"euler_split produced unbalanced degrees at right vertex {right}"
+            )
+    return first, second

@@ -1,0 +1,240 @@
+"""Bipartite multigraph with explicit edge multiplicities.
+
+The fair-distribution construction of Theorem 1 operates on bipartite
+*multigraphs*: the list system contributes ``l(s, s')`` parallel edges between
+source ``s`` (left side) and element ``s'`` (right side).  Only multiplicities
+matter for the algorithms we run (perfect matching, Euler partition, edge
+colouring), so the representation is a dense-but-sparse-friendly mapping
+``(left, right) -> multiplicity`` plus cached degree vectors.
+
+Left and right vertices are identified by integer indices ``0 .. n_left-1``
+and ``0 .. n_right-1`` respectively; they live in separate namespaces (the pair
+``(3, 3)`` is an edge between *left* vertex 3 and *right* vertex 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import GraphError, NotRegularError
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+__all__ = ["BipartiteMultigraph"]
+
+
+class BipartiteMultigraph:
+    """A bipartite multigraph on vertex classes ``L = {0..n_left-1}`` and
+    ``R = {0..n_right-1}``.
+
+    Edges carry integer multiplicities.  The class supports the operations the
+    routing layer needs: adding/removing edge copies, degree queries,
+    regularity checks, extraction of the underlying simple graph, and iteration
+    over edge instances (each parallel copy yielded separately).
+    """
+
+    __slots__ = ("_n_left", "_n_right", "_mult", "_left_degree", "_right_degree", "_edge_count")
+
+    def __init__(self, n_left: int, n_right: int):
+        check_positive_int(n_left, "n_left")
+        check_positive_int(n_right, "n_right")
+        self._n_left = n_left
+        self._n_right = n_right
+        self._mult: dict[tuple[int, int], int] = {}
+        self._left_degree = [0] * n_left
+        self._right_degree = [0] * n_right
+        self._edge_count = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, n_left: int, n_right: int, edges: Iterable[tuple[int, int]]
+    ) -> "BipartiteMultigraph":
+        """Build a multigraph from an iterable of ``(left, right)`` edge instances.
+
+        Repeated pairs accumulate multiplicity.
+        """
+        graph = cls(n_left, n_right)
+        for left, right in edges:
+            graph.add_edge(left, right)
+        return graph
+
+    def copy(self) -> "BipartiteMultigraph":
+        """Return an independent copy of the multigraph."""
+        clone = BipartiteMultigraph(self._n_left, self._n_right)
+        clone._mult = dict(self._mult)
+        clone._left_degree = list(self._left_degree)
+        clone._right_degree = list(self._right_degree)
+        clone._edge_count = self._edge_count
+        return clone
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def n_left(self) -> int:
+        """Number of left-side vertices."""
+        return self._n_left
+
+    @property
+    def n_right(self) -> int:
+        """Number of right-side vertices."""
+        return self._n_right
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of edge instances (counting multiplicities)."""
+        return self._edge_count
+
+    def multiplicity(self, left: int, right: int) -> int:
+        """Number of parallel copies of edge ``(left, right)``."""
+        return self._mult.get((left, right), 0)
+
+    def left_degree(self, left: int) -> int:
+        """Degree (with multiplicity) of left vertex ``left``."""
+        return self._left_degree[left]
+
+    def right_degree(self, right: int) -> int:
+        """Degree (with multiplicity) of right vertex ``right``."""
+        return self._right_degree[right]
+
+    def left_degrees(self) -> list[int]:
+        """Degree vector of the left side (copy)."""
+        return list(self._left_degree)
+
+    def right_degrees(self) -> list[int]:
+        """Degree vector of the right side (copy)."""
+        return list(self._right_degree)
+
+    def neighbors(self, left: int) -> list[int]:
+        """Distinct right-side neighbours of ``left`` (no multiplicities)."""
+        return [r for (l, r), m in self._mult.items() if l == left and m > 0]
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_edge(self, left: int, right: int, multiplicity: int = 1) -> None:
+        """Add ``multiplicity`` parallel copies of edge ``(left, right)``."""
+        check_non_negative_int(multiplicity, "multiplicity")
+        if multiplicity == 0:
+            return
+        self._check_vertex(left, right)
+        self._mult[(left, right)] = self._mult.get((left, right), 0) + multiplicity
+        self._left_degree[left] += multiplicity
+        self._right_degree[right] += multiplicity
+        self._edge_count += multiplicity
+
+    def remove_edge(self, left: int, right: int, multiplicity: int = 1) -> None:
+        """Remove ``multiplicity`` copies of edge ``(left, right)``.
+
+        Raises :class:`GraphError` if fewer copies are present.
+        """
+        check_non_negative_int(multiplicity, "multiplicity")
+        if multiplicity == 0:
+            return
+        current = self._mult.get((left, right), 0)
+        if current < multiplicity:
+            raise GraphError(
+                f"cannot remove {multiplicity} copies of edge ({left}, {right}); "
+                f"only {current} present"
+            )
+        if current == multiplicity:
+            del self._mult[(left, right)]
+        else:
+            self._mult[(left, right)] = current - multiplicity
+        self._left_degree[left] -= multiplicity
+        self._right_degree[right] -= multiplicity
+        self._edge_count -= multiplicity
+
+    def remove_matching(self, matching: dict[int, int]) -> None:
+        """Remove one copy of each edge in ``matching`` (left -> right)."""
+        for left, right in matching.items():
+            self.remove_edge(left, right)
+
+    # -- structure queries ---------------------------------------------------
+
+    def is_regular(self) -> bool:
+        """True iff every vertex on both sides has the same degree."""
+        degrees = set(self._left_degree) | set(self._right_degree)
+        return len(degrees) == 1
+
+    def regular_degree(self) -> int:
+        """Return the common degree of a regular multigraph.
+
+        Raises :class:`NotRegularError` when the graph is not regular.
+        """
+        if not self.is_regular():
+            raise NotRegularError(
+                "graph is not regular: left degrees "
+                f"{sorted(set(self._left_degree))}, right degrees "
+                f"{sorted(set(self._right_degree))}"
+            )
+        return self._left_degree[0]
+
+    def max_degree(self) -> int:
+        """Maximum degree over both sides (0 for an empty graph)."""
+        left_max = max(self._left_degree, default=0)
+        right_max = max(self._right_degree, default=0)
+        return max(left_max, right_max)
+
+    def is_biregular(self) -> tuple[bool, int, int]:
+        """Check side-wise regularity.
+
+        Returns ``(ok, left_degree, right_degree)``; when ``ok`` is ``False``
+        the degree values are -1.
+        """
+        left_set = set(self._left_degree)
+        right_set = set(self._right_degree)
+        if len(left_set) == 1 and len(right_set) == 1:
+            return True, self._left_degree[0], self._right_degree[0]
+        return False, -1, -1
+
+    # -- iteration -----------------------------------------------------------
+
+    def edges_with_multiplicity(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate over ``(left, right, multiplicity)`` for every distinct edge."""
+        for (left, right), mult in self._mult.items():
+            yield left, right, mult
+
+    def edge_instances(self) -> Iterator[tuple[int, int]]:
+        """Iterate over every edge instance; parallel copies are yielded repeatedly."""
+        for (left, right), mult in self._mult.items():
+            for _ in range(mult):
+                yield left, right
+
+    def adjacency(self) -> list[list[int]]:
+        """Return simple-graph adjacency lists ``left -> [distinct right neighbours]``."""
+        adjacency: list[list[int]] = [[] for _ in range(self._n_left)]
+        for (left, right), mult in self._mult.items():
+            if mult > 0:
+                adjacency[left].append(right)
+        return adjacency
+
+    def adjacency_with_multiplicity(self) -> list[dict[int, int]]:
+        """Return adjacency as ``left -> {right: multiplicity}`` dictionaries."""
+        adjacency: list[dict[int, int]] = [dict() for _ in range(self._n_left)]
+        for (left, right), mult in self._mult.items():
+            if mult > 0:
+                adjacency[left][right] = mult
+        return adjacency
+
+    # -- misc ------------------------------------------------------------------
+
+    def _check_vertex(self, left: int, right: int) -> None:
+        if not (0 <= left < self._n_left):
+            raise GraphError(f"left vertex {left} out of range [0, {self._n_left})")
+        if not (0 <= right < self._n_right):
+            raise GraphError(f"right vertex {right} out of range [0, {self._n_right})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BipartiteMultigraph):
+            return NotImplemented
+        return (
+            self._n_left == other._n_left
+            and self._n_right == other._n_right
+            and self._mult == other._mult
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteMultigraph(n_left={self._n_left}, n_right={self._n_right}, "
+            f"edges={self._edge_count})"
+        )

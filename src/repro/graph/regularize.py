@@ -1,0 +1,176 @@
+"""Padding constructions that make bipartite multigraphs regular.
+
+Theorem 1 of the paper colours the list-system graph ``G = (S, S'; E)`` (every
+vertex of degree ``Δ1``) with ``n2 >= Δ1`` colours such that every colour class
+has exactly ``Δ2 = n1 Δ1 / n2`` edges.  The proof pads ``G`` with
+
+* a set ``V`` of ``n1 - Δ2`` new left vertices joined to ``S'`` by an
+  ``(n2, n2 - Δ1)``-biregular graph ``H1``, and
+* a mirrored set ``V'`` of new right vertices joined to ``S`` by an
+  ``(n2, n2 - Δ1)``-biregular graph ``H2``,
+
+so that the padded graph is ``n2``-regular and König's theorem applies.  This
+module provides those constructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import GraphError, NotRegularError
+from repro.graph.multigraph import BipartiteMultigraph
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+__all__ = ["biregular_pad", "pad_to_regular", "PaddedGraph"]
+
+
+def biregular_pad(
+    n_new: int, n_existing: int, new_degree: int, existing_degree: int
+) -> BipartiteMultigraph:
+    """Construct an ``(new_degree, existing_degree)``-biregular bipartite multigraph.
+
+    The graph has ``n_new`` left vertices of degree ``new_degree`` and
+    ``n_existing`` right vertices of degree ``existing_degree``.  Such a graph
+    exists iff ``n_new * new_degree == n_existing * existing_degree``; it is
+    built by laying out the required edge endpoints of both sides in round-robin
+    order and zipping them, which distributes multiplicities as evenly as
+    possible (a plain multigraph is sufficient for the König argument).
+
+    A graph with zero left vertices (or zero required degree) is represented by
+    an empty multigraph with a single phantom vertex per empty side, because
+    :class:`BipartiteMultigraph` requires positive vertex counts; callers treat
+    ``n_new == 0`` as "no padding needed" and never consult the result, so
+    :func:`pad_to_regular` special-cases it instead of calling this function.
+    """
+    check_positive_int(n_new, "n_new")
+    check_positive_int(n_existing, "n_existing")
+    check_non_negative_int(new_degree, "new_degree")
+    check_non_negative_int(existing_degree, "existing_degree")
+    if n_new * new_degree != n_existing * existing_degree:
+        raise GraphError(
+            "biregular graph does not exist: "
+            f"{n_new} * {new_degree} != {n_existing} * {existing_degree}"
+        )
+    graph = BipartiteMultigraph(n_new, n_existing)
+    total = n_new * new_degree
+    # Left endpoint sequence: vertex i repeated new_degree times (blocks);
+    # right endpoint sequence: round-robin over existing vertices.  Zipping the
+    # two sequences gives every left vertex exactly new_degree incidences and
+    # every right vertex exactly existing_degree incidences.
+    for slot in range(total):
+        left = slot // new_degree if new_degree > 0 else 0
+        right = slot % n_existing
+        graph.add_edge(left, right)
+    # Round-robin is only guaranteed to balance the right side when the block
+    # structure and the modulus interact benignly; verify and rebalance if not.
+    ok, _, right_deg = graph.is_biregular()
+    if not ok or right_deg != existing_degree:
+        graph = _rebalanced_pad(n_new, n_existing, new_degree, existing_degree)
+    return graph
+
+
+def _rebalanced_pad(
+    n_new: int, n_existing: int, new_degree: int, existing_degree: int
+) -> BipartiteMultigraph:
+    """Fallback construction pairing explicit endpoint multisets."""
+    left_slots = [i for i in range(n_new) for _ in range(new_degree)]
+    right_slots = [j for j in range(n_existing) for _ in range(existing_degree)]
+    if len(left_slots) != len(right_slots):
+        raise GraphError("internal error: endpoint multisets differ in size")
+    graph = BipartiteMultigraph(n_new, n_existing)
+    for left, right in zip(left_slots, right_slots):
+        graph.add_edge(left, right)
+    return graph
+
+
+@dataclass(frozen=True)
+class PaddedGraph:
+    """Result of :func:`pad_to_regular`.
+
+    Attributes
+    ----------
+    graph:
+        The padded ``target_degree``-regular bipartite multigraph.  Left
+        vertices ``0 .. n_core_left-1`` and right vertices ``0 .. n_core_right-1``
+        are the original ("core") vertices; any further vertices are padding.
+    n_core_left, n_core_right:
+        Sizes of the original vertex classes.
+    target_degree:
+        The regular degree of the padded graph.
+    """
+
+    graph: BipartiteMultigraph
+    n_core_left: int
+    n_core_right: int
+    target_degree: int
+
+    def is_core_edge(self, left: int, right: int) -> bool:
+        """True iff both endpoints belong to the original (un-padded) graph."""
+        return left < self.n_core_left and right < self.n_core_right
+
+
+def pad_to_regular(core: BipartiteMultigraph, target_degree: int) -> PaddedGraph:
+    """Pad ``core`` (a ``Δ1``-regular bipartite multigraph on equal-sized sides)
+    to a ``target_degree``-regular multigraph following the Theorem 1 proof.
+
+    Parameters
+    ----------
+    core:
+        The list-system graph ``G = (S, S'; E)``; it must be regular (every
+        vertex of degree ``Δ1``) with ``n_left == n_right == n1``.
+    target_degree:
+        The number of colours ``n2``; must satisfy ``target_degree >= Δ1`` and
+        ``target_degree | n1 * Δ1``.
+
+    Returns
+    -------
+    PaddedGraph
+        The padded regular multigraph together with the bookkeeping needed to
+        recognise core edges when reading colour classes back.
+    """
+    if core.n_left != core.n_right:
+        raise NotRegularError(
+            "pad_to_regular expects equal-sized sides, got "
+            f"{core.n_left} and {core.n_right}"
+        )
+    n1 = core.n_left
+    delta1 = core.regular_degree()
+    n2 = check_positive_int(target_degree, "target_degree")
+    if n2 < delta1:
+        raise GraphError(
+            f"target degree {n2} is smaller than the core degree {delta1}"
+        )
+    if (n1 * delta1) % n2 != 0:
+        raise GraphError(
+            f"target degree {n2} does not divide n1*Δ1 = {n1 * delta1}; "
+            "the list system is not proper"
+        )
+    delta2 = (n1 * delta1) // n2
+    n_pad = n1 - delta2
+    pad_degree = n2 - delta1
+
+    if n_pad == 0 or pad_degree == 0:
+        # Already n2-regular (n2 == Δ1 forces Δ2 == n1 and vice versa).
+        if delta1 != n2:
+            raise GraphError(
+                "inconsistent padding parameters: no padding vertices required "
+                f"but core degree {delta1} != target {n2}"
+            )
+        return PaddedGraph(core.copy(), n1, n1, n2)
+
+    padded = BipartiteMultigraph(n1 + n_pad, n1 + n_pad)
+    for left, right, mult in core.edges_with_multiplicity():
+        padded.add_edge(left, right, mult)
+
+    # H1 joins the new left vertices V (degree n2 each) to the original right
+    # side S' (degree n2 - Δ1 each); H2 mirrors it on the other side.
+    h1 = biregular_pad(n_pad, n1, n2, pad_degree)
+    for left, right, mult in h1.edges_with_multiplicity():
+        padded.add_edge(n1 + left, right, mult)
+    h2 = biregular_pad(n_pad, n1, n2, pad_degree)
+    for left, right, mult in h2.edges_with_multiplicity():
+        padded.add_edge(right, n1 + left, mult)
+
+    if not padded.is_regular() or padded.regular_degree() != n2:
+        raise GraphError("padding failed to produce an n2-regular multigraph")
+    return PaddedGraph(padded, n1, n1, n2)

@@ -1,0 +1,61 @@
+"""Permutation families and workload generators.
+
+:mod:`~repro.patterns.families` provides the named permutations the paper's
+related-work section discusses (vector reversal, matrix transpose, perfect
+shuffle, bit reversal, BPC permutations, hypercube dimension exchanges, mesh
+row/column shifts) and :mod:`~repro.patterns.generators` provides randomised
+workloads (uniform permutations, derangements, group-blocked permutations,
+partial permutations) for the benchmark sweeps.
+"""
+
+from repro.patterns.families import (
+    figure3_permutation,
+    vector_reversal,
+    matrix_transpose_permutation,
+    perfect_shuffle,
+    inverse_perfect_shuffle,
+    bit_reversal_permutation,
+    bpc_permutation,
+    hypercube_exchange,
+    all_hypercube_exchanges,
+    mesh_row_shift,
+    mesh_column_shift,
+    cyclic_shift,
+    group_cyclic_shift,
+    NAMED_FAMILIES,
+    family_by_name,
+)
+from repro.patterns.generators import (
+    PermutationGenerator,
+    random_permutation_workload,
+    random_derangement_workload,
+    random_group_blocked_permutation,
+    random_group_moving_blocked_permutation,
+    random_partial_permutation,
+    random_within_group_permutation,
+)
+
+__all__ = [
+    "figure3_permutation",
+    "vector_reversal",
+    "matrix_transpose_permutation",
+    "perfect_shuffle",
+    "inverse_perfect_shuffle",
+    "bit_reversal_permutation",
+    "bpc_permutation",
+    "hypercube_exchange",
+    "all_hypercube_exchanges",
+    "mesh_row_shift",
+    "mesh_column_shift",
+    "cyclic_shift",
+    "group_cyclic_shift",
+    "NAMED_FAMILIES",
+    "family_by_name",
+    "PermutationGenerator",
+    "random_permutation_workload",
+    "random_derangement_workload",
+    "random_group_blocked_permutation",
+    "random_group_moving_blocked_permutation",
+    "random_partial_permutation",
+    "random_within_group_permutation",
+]

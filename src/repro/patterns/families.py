@@ -1,0 +1,213 @@
+"""Named permutation families from the POPS literature.
+
+These are the concrete permutation routing problems that had been attacked one
+by one before the paper (see its Section 2): the hypercube simulation
+primitives and mesh shifts of [Sahni 2000b], the vector reversal, matrix
+transpose and BPC permutations of [Sahni 2000a], plus a few classics (perfect
+shuffle, bit reversal, cyclic shifts) that are BPC instances.  The unification
+benchmark (E5) routes each family with the universal router and checks the
+slot counts the specialised results promised.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.exceptions import ValidationError
+from repro.utils.bitops import bit_length_exact, flip_bit, get_bit, reverse_bits
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = [
+    "figure3_permutation",
+    "vector_reversal",
+    "matrix_transpose_permutation",
+    "perfect_shuffle",
+    "inverse_perfect_shuffle",
+    "bit_reversal_permutation",
+    "bpc_permutation",
+    "hypercube_exchange",
+    "all_hypercube_exchanges",
+    "mesh_row_shift",
+    "mesh_column_shift",
+    "cyclic_shift",
+    "group_cyclic_shift",
+    "NAMED_FAMILIES",
+    "family_by_name",
+]
+
+
+def figure3_permutation() -> list[int]:
+    """The POPS(3,3) permutation of the paper's Figure 3.
+
+    Reading the figure, packet ``xy`` (destination group ``x``, destination
+    processor ``y``) sits at each source processor; in one-line notation the
+    permutation is ``π = [4, 8, 3, 6, 0, 2, 7, 1, 5]``.  Processors 4 and 5
+    (both in group 1) target group 0, so a single slot cannot route it — the
+    example motivating the two-slot algorithm.
+    """
+    return [4, 8, 3, 6, 0, 2, 7, 1, 5]
+
+
+def vector_reversal(n: int) -> list[int]:
+    """Vector reversal: ``π(i) = n - 1 - i`` ([Sahni 2000a])."""
+    check_positive_int(n, "n")
+    return [n - 1 - i for i in range(n)]
+
+
+def cyclic_shift(n: int, offset: int = 1) -> list[int]:
+    """Cyclic shift: ``π(i) = (i + offset) mod n``."""
+    check_positive_int(n, "n")
+    return [(i + offset) % n for i in range(n)]
+
+
+def group_cyclic_shift(n: int, d: int, group_offset: int = 1) -> list[int]:
+    """Shift every packet ``group_offset`` groups forward, preserving local index.
+
+    A canonical group-moving, group-blocked permutation (Proposition 2's tight
+    class) for any ``d`` and ``g = n/d``.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(d, "d")
+    if n % d != 0:
+        raise ValidationError(f"d={d} must divide n={n}")
+    g = n // d
+    return [((i // d + group_offset) % g) * d + (i % d) for i in range(n)]
+
+
+def matrix_transpose_permutation(rows: int, cols: int | None = None) -> list[int]:
+    """Transpose of a ``rows x cols`` matrix stored row-major.
+
+    Element ``(r, c)`` stored at processor ``r * cols + c`` moves to processor
+    ``c * rows + r`` ([Sahni 2000a] uses square matrices; rectangular shapes
+    are supported for the tests).
+    """
+    check_positive_int(rows, "rows")
+    cols = rows if cols is None else check_positive_int(cols, "cols")
+    n = rows * cols
+    pi = [0] * n
+    for r in range(rows):
+        for c in range(cols):
+            pi[r * cols + c] = c * rows + r
+    return pi
+
+
+def perfect_shuffle(n: int) -> list[int]:
+    """Perfect shuffle on ``n = 2^k`` elements: cyclic left rotation of the index bits."""
+    k = bit_length_exact(n)
+    if k == 0:
+        return [0]
+    return [((i << 1) | (i >> (k - 1))) & (n - 1) for i in range(n)]
+
+
+def inverse_perfect_shuffle(n: int) -> list[int]:
+    """Inverse perfect shuffle: cyclic right rotation of the index bits."""
+    k = bit_length_exact(n)
+    if k == 0:
+        return [0]
+    return [(i >> 1) | ((i & 1) << (k - 1)) for i in range(n)]
+
+
+def bit_reversal_permutation(n: int) -> list[int]:
+    """Bit reversal on ``n = 2^k`` elements."""
+    k = bit_length_exact(n)
+    return [reverse_bits(i, k) for i in range(n)]
+
+
+def bpc_permutation(
+    n: int, bit_order: Sequence[int], complement_mask: int = 0
+) -> list[int]:
+    """A BPC (bit-permute-complement) permutation on ``n = 2^k`` elements.
+
+    Destination bit ``j`` equals source bit ``bit_order[j]``, and bits selected
+    by ``complement_mask`` are complemented afterwards:
+    ``π(i) = complement_mask XOR  Σ_j  bit_j(i)[bit_order[j]] << j``.
+
+    The class is closed under composition and contains vector reversal
+    (identity order, full complement mask), matrix transpose of a ``2^a x 2^a``
+    matrix (rotation of the bit order), perfect shuffle, bit reversal and the
+    hypercube exchanges (identity order, single-bit mask) — [Sahni 2000a].
+    """
+    k = bit_length_exact(n)
+    if sorted(bit_order) != list(range(k)):
+        raise ValidationError(
+            f"bit_order must be a permutation of 0..{k - 1}, got {list(bit_order)}"
+        )
+    if not (0 <= complement_mask < n):
+        raise ValidationError(
+            f"complement_mask {complement_mask} out of range [0, {n})"
+        )
+    pi = []
+    for i in range(n):
+        image = 0
+        for j in range(k):
+            image |= get_bit(i, bit_order[j]) << j
+        pi.append(image ^ complement_mask)
+    return pi
+
+
+def hypercube_exchange(n: int, bit: int) -> list[int]:
+    """Hypercube dimension-``bit`` exchange: ``π(i) = i XOR 2^bit`` ([Sahni 2000b])."""
+    k = bit_length_exact(n)
+    check_in_range(bit, 0, k, "bit")
+    return [flip_bit(i, bit) for i in range(n)]
+
+
+def all_hypercube_exchanges(n: int) -> list[list[int]]:
+    """All ``log2 n`` dimension exchanges of an ``n``-processor hypercube."""
+    k = bit_length_exact(n)
+    return [hypercube_exchange(n, bit) for bit in range(k)]
+
+
+def mesh_row_shift(side: int, offset: int = 1) -> list[int]:
+    """Shift every element of an ``side x side`` wraparound mesh along its row.
+
+    The mesh cell ``(r, c)`` is stored at processor ``r + c * side`` (the
+    paper's mapping ``(i, j) -> i + jN``); a row shift moves data to column
+    ``(c + offset) mod side``.
+    """
+    check_positive_int(side, "side")
+    n = side * side
+    pi = [0] * n
+    for r in range(side):
+        for c in range(side):
+            pi[r + c * side] = r + ((c + offset) % side) * side
+    return pi
+
+
+def mesh_column_shift(side: int, offset: int = 1) -> list[int]:
+    """Shift every element of an ``side x side`` wraparound mesh along its column.
+
+    With the mapping ``(i, j) -> i + jN`` a column shift moves data to row
+    ``(r + offset) mod side`` within the same column.
+    """
+    check_positive_int(side, "side")
+    n = side * side
+    pi = [0] * n
+    for r in range(side):
+        for c in range(side):
+            pi[r + c * side] = ((r + offset) % side) + c * side
+    return pi
+
+
+#: Registry of parameter-free families keyed by name; each entry maps ``n``
+#: (total processors) to a permutation.  Families that need extra structure
+#: (mesh side, hypercube bit) are exposed through their own functions.
+NAMED_FAMILIES: dict[str, Callable[[int], list[int]]] = {
+    "identity": lambda n: list(range(n)),
+    "vector_reversal": vector_reversal,
+    "cyclic_shift": cyclic_shift,
+    "perfect_shuffle": perfect_shuffle,
+    "inverse_perfect_shuffle": inverse_perfect_shuffle,
+    "bit_reversal": bit_reversal_permutation,
+}
+
+
+def family_by_name(name: str, n: int) -> list[int]:
+    """Instantiate the named parameter-free family on ``n`` processors."""
+    try:
+        factory = NAMED_FAMILIES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown permutation family {name!r}; available: {sorted(NAMED_FAMILIES)}"
+        ) from None
+    return factory(n)

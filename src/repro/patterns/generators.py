@@ -1,0 +1,175 @@
+"""Randomised permutation workloads for the benchmark sweeps.
+
+All generators take an ``rng`` argument (seed, :class:`random.Random`, or
+``None``) and are deterministic given a seed, so every experiment in
+EXPERIMENTS.md can be reproduced bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.exceptions import ValidationError
+from repro.pops.topology import POPSNetwork
+from repro.utils.permutations import random_derangement, random_permutation
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = [
+    "PermutationGenerator",
+    "random_permutation_workload",
+    "random_derangement_workload",
+    "random_group_blocked_permutation",
+    "random_group_moving_blocked_permutation",
+    "random_within_group_permutation",
+    "random_partial_permutation",
+]
+
+
+def random_permutation_workload(
+    n: int, count: int, rng: random.Random | int | None = None
+) -> Iterator[list[int]]:
+    """Yield ``count`` independent uniform permutations of ``n`` elements."""
+    check_positive_int(n, "n")
+    check_positive_int(count, "count")
+    generator = resolve_rng(rng)
+    for _ in range(count):
+        yield random_permutation(n, generator)
+
+
+def random_derangement_workload(
+    n: int, count: int, rng: random.Random | int | None = None
+) -> Iterator[list[int]]:
+    """Yield ``count`` independent uniform derangements of ``n`` elements."""
+    check_positive_int(n, "n")
+    check_positive_int(count, "count")
+    generator = resolve_rng(rng)
+    for _ in range(count):
+        yield random_derangement(n, generator)
+
+
+def random_group_blocked_permutation(
+    network: POPSNetwork, rng: random.Random | int | None = None
+) -> list[int]:
+    """A random group-blocked permutation: a random permutation of the groups
+    composed with an independent random permutation inside every group.
+
+    This is the hypothesis class of Propositions 2 and 3.
+    """
+    generator = resolve_rng(rng)
+    d, g = network.d, network.g
+    group_map = random_permutation(g, generator)
+    pi = [0] * network.n
+    for h in range(g):
+        local = random_permutation(d, generator)
+        for i in range(d):
+            pi[h * d + i] = group_map[h] * d + local[i]
+    return pi
+
+
+def random_group_moving_blocked_permutation(
+    network: POPSNetwork, rng: random.Random | int | None = None
+) -> list[int]:
+    """A random group-blocked permutation whose induced group map is a derangement.
+
+    Satisfies the hypotheses of Proposition 2 (``group(i) != group(π(i))`` for
+    all ``i``), so Theorem 2's ``2⌈d/g⌉`` is exactly optimal on it.  Requires
+    at least two groups.
+    """
+    generator = resolve_rng(rng)
+    d, g = network.d, network.g
+    if g < 2:
+        raise ValidationError("a group-moving permutation requires at least two groups")
+    group_map = random_derangement(g, generator)
+    pi = [0] * network.n
+    for h in range(g):
+        local = random_permutation(d, generator)
+        for i in range(d):
+            pi[h * d + i] = group_map[h] * d + local[i]
+    return pi
+
+
+def random_within_group_permutation(
+    network: POPSNetwork, rng: random.Random | int | None = None
+) -> list[int]:
+    """A random permutation that never leaves its group (identity group map)."""
+    generator = resolve_rng(rng)
+    d, g = network.d, network.g
+    pi = [0] * network.n
+    for h in range(g):
+        local = random_permutation(d, generator)
+        for i in range(d):
+            pi[h * d + i] = h * d + local[i]
+    return pi
+
+
+def random_partial_permutation(
+    n: int, density: float, rng: random.Random | int | None = None
+) -> dict[int, int]:
+    """A random partial permutation: a subset of sources of expected size
+    ``density * n`` mapped injectively to distinct destinations.
+
+    Returned as a ``source -> destination`` mapping; used by tests of the
+    one-slot router and of the simulator on sparse traffic.
+    """
+    check_positive_int(n, "n")
+    check_probability(density, "density")
+    generator = resolve_rng(rng)
+    sources = [i for i in range(n) if generator.random() < density]
+    destinations = generator.sample(range(n), len(sources))
+    return dict(zip(sources, destinations))
+
+
+class PermutationGenerator:
+    """Factory bundling all workload generators behind one seeded object.
+
+    Useful in benchmark sweeps: build one generator per parameter point from a
+    master seed and draw as many workloads as needed.
+    """
+
+    def __init__(self, network: POPSNetwork, rng: random.Random | int | None = None):
+        self.network = network
+        self._rng = resolve_rng(rng)
+
+    def uniform(self) -> list[int]:
+        """A uniform random permutation of the network's processors."""
+        return random_permutation(self.network.n, self._rng)
+
+    def derangement(self) -> list[int]:
+        """A uniform random derangement of the network's processors."""
+        return random_derangement(self.network.n, self._rng)
+
+    def group_blocked(self) -> list[int]:
+        """A random group-blocked permutation."""
+        return random_group_blocked_permutation(self.network, self._rng)
+
+    def group_moving_blocked(self) -> list[int]:
+        """A random group-blocked permutation with a derangement group map."""
+        return random_group_moving_blocked_permutation(self.network, self._rng)
+
+    def within_group(self) -> list[int]:
+        """A random permutation with the identity group map."""
+        return random_within_group_permutation(self.network, self._rng)
+
+    def batch(self, kind: str, count: int) -> list[list[int]]:
+        """Draw ``count`` workloads of the named kind.
+
+        ``kind`` is one of ``uniform``, ``derangement``, ``group_blocked``,
+        ``group_moving_blocked``, ``within_group``.
+        """
+        check_positive_int(count, "count")
+        factories = {
+            "uniform": self.uniform,
+            "derangement": self.derangement,
+            "group_blocked": self.group_blocked,
+            "group_moving_blocked": self.group_moving_blocked,
+            "within_group": self.within_group,
+        }
+        try:
+            factory = factories[kind]
+        except KeyError:
+            raise ValidationError(
+                f"unknown workload kind {kind!r}; available: {sorted(factories)}"
+            ) from None
+        return [factory() for _ in range(count)]

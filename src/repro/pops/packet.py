@@ -1,0 +1,40 @@
+"""Packets moved by the POPS simulator.
+
+A packet records where it started, where it must end up, and an optional
+payload.  Packets are identified by their source processor (the paper's
+``p_i`` is stored at processor ``i``), which is sufficient because every
+routing problem considered moves exactly one packet per source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Packet"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A routed packet.
+
+    Attributes
+    ----------
+    source:
+        Processor the packet originates at (also its identity).
+    destination:
+        Processor the packet must be delivered to.
+    payload:
+        Arbitrary application data carried along (ignored by the router).
+    """
+
+    source: int
+    destination: int
+    payload: Any = field(default=None, compare=False)
+
+    def with_payload(self, payload: Any) -> "Packet":
+        """Return a copy of the packet carrying ``payload``."""
+        return Packet(self.source, self.destination, payload)
+
+    def __repr__(self) -> str:
+        return f"Packet({self.source}->{self.destination})"

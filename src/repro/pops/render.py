@@ -1,0 +1,119 @@
+"""Rendering and export of routing schedules.
+
+Schedules are easiest to debug (and to compare with the paper's Figure 3
+narrative) when laid out slot by slot: which coupler carries which packet, and
+who reads it.  This module renders a :class:`~repro.pops.schedule.RoutingSchedule`
+as plain text and exports it as plain dictionaries suitable for JSON dumping
+or external analysis, without requiring any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.pops.schedule import RoutingSchedule, SlotProgram
+from repro.pops.topology import POPSNetwork
+
+__all__ = ["render_schedule", "render_slot", "schedule_to_dict", "coupler_usage_grid"]
+
+
+def render_slot(network: POPSNetwork, slot: SlotProgram, slot_index: int) -> str:
+    """Render one slot: every driven coupler with its sender, packet and readers."""
+    readers_by_coupler: dict[Any, list[int]] = {}
+    for reception in slot.receptions:
+        readers_by_coupler.setdefault(reception.coupler, []).append(reception.receiver)
+
+    lines = [f"slot {slot_index}: {slot.n_packets_moved} packet(s) moved"]
+    for transmission in sorted(
+        slot.transmissions, key=lambda t: (t.coupler.dest_group, t.coupler.source_group)
+    ):
+        readers = sorted(readers_by_coupler.get(transmission.coupler, []))
+        reader_text = ", ".join(str(r) for r in readers) if readers else "-"
+        lines.append(
+            f"  {transmission.coupler!r}: processor {transmission.sender} sends "
+            f"{transmission.packet!r} -> read by {reader_text}"
+        )
+    if not slot.transmissions:
+        lines.append("  (idle slot)")
+    return "\n".join(lines)
+
+
+def render_schedule(schedule: RoutingSchedule) -> str:
+    """Render a whole schedule slot by slot."""
+    header = (
+        f"schedule on POPS(d={schedule.network.d}, g={schedule.network.g})"
+        f" — {schedule.n_slots} slot(s)"
+    )
+    if schedule.description:
+        header += f" [{schedule.description}]"
+    parts = [header]
+    for index, slot in enumerate(schedule.slots):
+        parts.append(render_slot(schedule.network, slot, index))
+    return "\n".join(parts)
+
+
+def schedule_to_dict(schedule: RoutingSchedule) -> dict[str, Any]:
+    """Export a schedule as plain dictionaries/lists (JSON-serialisable).
+
+    The structure is stable and documented: ``network`` holds ``d``/``g``,
+    ``slots`` is a list of slots, each with ``transmissions`` and
+    ``receptions`` lists whose entries use integer processor/group indices
+    only (payloads are not exported).
+    """
+    return {
+        "network": {"d": schedule.network.d, "g": schedule.network.g},
+        "description": schedule.description,
+        "n_slots": schedule.n_slots,
+        "slots": [
+            {
+                "transmissions": [
+                    {
+                        "sender": t.sender,
+                        "coupler": {
+                            "dest_group": t.coupler.dest_group,
+                            "source_group": t.coupler.source_group,
+                        },
+                        "packet": {
+                            "source": t.packet.source,
+                            "destination": t.packet.destination,
+                        },
+                        "consume": t.consume,
+                    }
+                    for t in slot.transmissions
+                ],
+                "receptions": [
+                    {
+                        "receiver": r.receiver,
+                        "coupler": {
+                            "dest_group": r.coupler.dest_group,
+                            "source_group": r.coupler.source_group,
+                        },
+                    }
+                    for r in slot.receptions
+                ],
+            }
+            for slot in schedule.slots
+        ],
+    }
+
+
+def coupler_usage_grid(schedule: RoutingSchedule) -> str:
+    """Render a g x g grid per slot marking which couplers are busy.
+
+    Rows are destination groups, columns are source groups; ``#`` marks a busy
+    coupler and ``.`` an idle one.  Useful to eyeball utilisation (Theorem 2's
+    first slot on a square network fills the whole grid).
+    """
+    network = schedule.network
+    blocks: list[str] = []
+    for index, slot in enumerate(schedule.slots):
+        busy = {(c.dest_group, c.source_group) for c in slot.couplers_used()}
+        lines = [f"slot {index} ({len(busy)}/{network.n_couplers} couplers busy)"]
+        for dest in range(network.g):
+            row = "".join(
+                "#" if (dest, src) in busy else "." for src in range(network.g)
+            )
+            lines.append(f"  {row}")
+        blocks.append("\n".join(lines))
+    return "\n".join(blocks)

@@ -1,0 +1,213 @@
+"""Routing schedules: what every processor does in every slot.
+
+A :class:`SlotProgram` is the SIMD instruction for one slot: a set of
+transmissions (processor drives a coupler with a packet) and receptions
+(processor reads one of its receivers).  A :class:`RoutingSchedule` is an
+ordered sequence of slot programs.
+
+Schedules are *plans*; they can be statically validated against a
+:class:`~repro.pops.topology.POPSNetwork` (wiring and conflict rules that do
+not depend on packet positions) and then executed by
+:class:`~repro.pops.simulator.POPSSimulator`, which additionally checks the
+dynamic rules (the sender must actually hold the packet, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import (
+    ConfigurationError,
+    CouplerConflictError,
+    ReceiverConflictError,
+    TransmitterError,
+)
+from repro.pops.packet import Packet
+from repro.pops.topology import Coupler, POPSNetwork
+
+__all__ = ["Transmission", "Reception", "SlotProgram", "RoutingSchedule"]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One processor driving one coupler with one packet during a slot.
+
+    ``consume`` controls whether the packet leaves the sender's buffer (the
+    normal case for routing) or is copied (broadcast-style collectives keep the
+    local copy).
+    """
+
+    sender: int
+    coupler: Coupler
+    packet: Packet
+    consume: bool = True
+
+
+@dataclass(frozen=True)
+class Reception:
+    """One processor reading one of its receivers during a slot."""
+
+    receiver: int
+    coupler: Coupler
+
+
+@dataclass
+class SlotProgram:
+    """Everything that happens in a single slot."""
+
+    transmissions: list[Transmission] = field(default_factory=list)
+    receptions: list[Reception] = field(default_factory=list)
+
+    def add_transmission(
+        self, sender: int, coupler: Coupler, packet: Packet, consume: bool = True
+    ) -> None:
+        """Append a transmission to this slot."""
+        self.transmissions.append(Transmission(sender, coupler, packet, consume))
+
+    def add_reception(self, receiver: int, coupler: Coupler) -> None:
+        """Append a reception to this slot."""
+        self.receptions.append(Reception(receiver, coupler))
+
+    @property
+    def n_packets_moved(self) -> int:
+        """Number of distinct couplers carrying a packet in this slot."""
+        return len({t.coupler for t in self.transmissions})
+
+    def couplers_used(self) -> set[Coupler]:
+        """The set of couplers driven in this slot."""
+        return {t.coupler for t in self.transmissions}
+
+    def validate(self, network: POPSNetwork) -> None:
+        """Statically validate this slot against the POPS communication rules.
+
+        Checks wiring (each sender/receiver owns the port it uses), the
+        one-packet-per-coupler rule, the one-read-per-processor rule, and that
+        a single processor does not try to send two *different* packets (it may
+        broadcast the same packet through several transmitters).
+
+        Raises
+        ------
+        TransmitterError, CouplerConflictError, ReceiverConflictError,
+        ConfigurationError
+        """
+        driven: dict[Coupler, Transmission] = {}
+        packets_by_sender: dict[int, Packet] = {}
+        for transmission in self.transmissions:
+            sender = transmission.sender
+            coupler = transmission.coupler
+            if not (0 <= sender < network.n):
+                raise ConfigurationError(f"sender {sender} is not a processor of {network!r}")
+            if not (0 <= coupler.source_group < network.g) or not (
+                0 <= coupler.dest_group < network.g
+            ):
+                raise ConfigurationError(f"{coupler!r} does not exist in {network!r}")
+            if not network.can_transmit(sender, coupler):
+                raise TransmitterError(
+                    f"processor {sender} (group {network.group_of(sender)}) has no "
+                    f"transmitter into {coupler!r}"
+                )
+            if coupler in driven and driven[coupler].sender != sender:
+                raise CouplerConflictError(
+                    f"{coupler!r} driven by both processor {driven[coupler].sender} "
+                    f"and processor {sender} in the same slot"
+                )
+            if coupler in driven and driven[coupler].packet != transmission.packet:
+                raise CouplerConflictError(
+                    f"{coupler!r} driven with two different packets by processor {sender}"
+                )
+            driven[coupler] = transmission
+            previous = packets_by_sender.get(sender)
+            if previous is not None and previous != transmission.packet:
+                raise CouplerConflictError(
+                    f"processor {sender} attempts to send two different packets "
+                    f"({previous!r} and {transmission.packet!r}) in one slot"
+                )
+            packets_by_sender[sender] = transmission.packet
+
+        readers: set[int] = set()
+        for reception in self.receptions:
+            receiver = reception.receiver
+            coupler = reception.coupler
+            if not (0 <= receiver < network.n):
+                raise ConfigurationError(
+                    f"receiver {receiver} is not a processor of {network!r}"
+                )
+            if not network.can_receive(receiver, coupler):
+                raise TransmitterError(
+                    f"processor {receiver} (group {network.group_of(receiver)}) has no "
+                    f"receiver from {coupler!r}"
+                )
+            if receiver in readers:
+                raise ReceiverConflictError(
+                    f"processor {receiver} reads more than one coupler in the same slot"
+                )
+            readers.add(receiver)
+
+
+@dataclass
+class RoutingSchedule:
+    """An ordered sequence of slot programs produced by a router.
+
+    Attributes
+    ----------
+    network:
+        The POPS network the schedule targets.
+    slots:
+        Slot programs in execution order.
+    description:
+        Human-readable provenance (which router, which permutation family, ...).
+    """
+
+    network: POPSNetwork
+    slots: list[SlotProgram] = field(default_factory=list)
+    description: str = ""
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots the schedule occupies."""
+        return len(self.slots)
+
+    def new_slot(self) -> SlotProgram:
+        """Append and return a fresh slot program."""
+        slot = SlotProgram()
+        self.slots.append(slot)
+        return slot
+
+    def extend(self, other: "RoutingSchedule") -> None:
+        """Append all slots of ``other`` (which must target the same network)."""
+        if other.network != self.network:
+            raise ConfigurationError(
+                "cannot concatenate schedules for different networks: "
+                f"{self.network!r} vs {other.network!r}"
+            )
+        self.slots.extend(other.slots)
+
+    def validate(self) -> None:
+        """Statically validate every slot (wiring and per-slot conflict rules)."""
+        for slot in self.slots:
+            slot.validate(self.network)
+
+    def packets(self) -> set[Packet]:
+        """All packets mentioned anywhere in the schedule."""
+        return {t.packet for slot in self.slots for t in slot.transmissions}
+
+    def couplers_used_per_slot(self) -> list[int]:
+        """Number of couplers driven in each slot."""
+        return [slot.n_packets_moved for slot in self.slots]
+
+    def __iter__(self) -> Iterator[SlotProgram]:
+        return iter(self.slots)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    @classmethod
+    def concatenate(
+        cls, network: POPSNetwork, schedules: Iterable["RoutingSchedule"], description: str = ""
+    ) -> "RoutingSchedule":
+        """Concatenate several schedules for the same network into one."""
+        result = cls(network=network, description=description)
+        for schedule in schedules:
+            result.extend(schedule)
+        return result

@@ -1,0 +1,236 @@
+"""Slot-accurate execution of routing schedules on a POPS network.
+
+The simulator is the substrate substituting for optical hardware: it executes
+a :class:`~repro.pops.schedule.RoutingSchedule` one slot at a time, enforcing
+the POPS communication model —
+
+* a processor may only drive couplers fed by its own group and only with a
+  packet currently in its buffer;
+* at most one processor drives a given coupler per slot;
+* a processor reads at most one of its receivers per slot, and only couplers
+  that actually carry a packet;
+
+— and it records a full trace.  After execution,
+:meth:`SimulationResult.verify_permutation_delivery` checks that every packet
+sits at its destination, which is how all routing tests and benchmarks in this
+repository establish end-to-end correctness (not just slot counting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import (
+    CouplerConflictError,
+    DeliveryError,
+    ReceiverConflictError,
+    SimulationError,
+    TransmitterError,
+)
+from repro.pops.packet import Packet
+from repro.pops.schedule import RoutingSchedule, SlotProgram
+from repro.pops.topology import Coupler, POPSNetwork
+from repro.pops.trace import SimulationTrace, SlotTrace
+
+__all__ = ["POPSSimulator", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of executing a schedule.
+
+    Attributes
+    ----------
+    network:
+        The simulated network.
+    buffers:
+        Final buffer contents, ``processor -> list of packets held``.
+    trace:
+        Per-slot record of coupler payloads and deliveries.
+    """
+
+    network: POPSNetwork
+    buffers: dict[int, list[Packet]]
+    trace: SimulationTrace = field(default_factory=SimulationTrace)
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots the executed schedule used."""
+        return self.trace.n_slots
+
+    def holder_of(self, packet: Packet) -> list[int]:
+        """Processors currently holding (a copy of) ``packet``."""
+        return [proc for proc, held in self.buffers.items() if packet in held]
+
+    def packets_at(self, processor: int) -> list[Packet]:
+        """Packets buffered at ``processor`` after execution."""
+        return list(self.buffers.get(processor, []))
+
+    def verify_permutation_delivery(self, packets: list[Packet]) -> None:
+        """Check that every packet in ``packets`` ended at its destination
+        and that no processor holds more than one of them.
+
+        Raises
+        ------
+        DeliveryError
+            If a packet is missing from its destination, present elsewhere, or
+            duplicated.
+        """
+        for packet in packets:
+            holders = self.holder_of(packet)
+            if holders != [packet.destination]:
+                raise DeliveryError(
+                    f"{packet!r} should end at processor {packet.destination}, "
+                    f"found at {holders}"
+                )
+        expected_counts: dict[int, int] = {}
+        for packet in packets:
+            expected_counts[packet.destination] = (
+                expected_counts.get(packet.destination, 0) + 1
+            )
+        for processor, held in self.buffers.items():
+            routed_here = [p for p in held if p in set(packets)]
+            if len(routed_here) != expected_counts.get(processor, 0):
+                raise DeliveryError(
+                    f"processor {processor} holds {len(routed_here)} routed packets, "
+                    f"expected {expected_counts.get(processor, 0)}"
+                )
+
+
+class POPSSimulator:
+    """Executes routing schedules under the POPS slot model.
+
+    Parameters
+    ----------
+    network:
+        The POPS(d, g) network to simulate.
+    strict_receptions:
+        When ``True`` (default) a processor reading a coupler that carries no
+        packet is treated as a schedule bug and raises
+        :class:`SimulationError`; when ``False`` the read silently yields
+        nothing (useful for hand-written experimental schedules).
+    """
+
+    def __init__(self, network: POPSNetwork, strict_receptions: bool = True):
+        self.network = network
+        self.strict_receptions = strict_receptions
+
+    # -- initial placement ------------------------------------------------------
+
+    def initial_buffers(self, packets: list[Packet]) -> dict[int, list[Packet]]:
+        """Place every packet at its source processor."""
+        buffers: dict[int, list[Packet]] = {p: [] for p in self.network.processors()}
+        for packet in packets:
+            if not (0 <= packet.source < self.network.n):
+                raise SimulationError(
+                    f"{packet!r} has source outside the network of size {self.network.n}"
+                )
+            buffers[packet.source].append(packet)
+        return buffers
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(
+        self,
+        schedule: RoutingSchedule,
+        packets: list[Packet],
+        initial_buffers: dict[int, list[Packet]] | None = None,
+    ) -> SimulationResult:
+        """Execute ``schedule`` starting from ``packets`` at their sources.
+
+        The schedule is first statically validated, then executed slot by slot
+        with dynamic checks (buffer ownership, idle-coupler reads).
+        """
+        if schedule.network != self.network:
+            raise SimulationError(
+                f"schedule targets {schedule.network!r}, simulator holds {self.network!r}"
+            )
+        schedule.validate()
+        buffers = (
+            {proc: list(held) for proc, held in initial_buffers.items()}
+            if initial_buffers is not None
+            else self.initial_buffers(packets)
+        )
+        trace = SimulationTrace()
+        for slot_index, slot in enumerate(schedule.slots):
+            trace.slots.append(self._run_slot(slot_index, slot, buffers))
+        return SimulationResult(network=self.network, buffers=buffers, trace=trace)
+
+    def _run_slot(
+        self, slot_index: int, slot: SlotProgram, buffers: dict[int, list[Packet]]
+    ) -> SlotTrace:
+        """Execute one slot, mutating ``buffers`` in place."""
+        # Phase 1: all sends happen simultaneously.  Determine coupler payloads.
+        payloads: dict[Coupler, Packet] = {}
+        senders: dict[Coupler, int] = {}
+        consumed: list[tuple[int, Packet]] = []
+        for transmission in slot.transmissions:
+            sender = transmission.sender
+            coupler = transmission.coupler
+            packet = transmission.packet
+            if not self.network.can_transmit(sender, coupler):
+                raise TransmitterError(
+                    f"slot {slot_index}: processor {sender} cannot drive {coupler!r}"
+                )
+            if coupler in payloads and senders[coupler] != sender:
+                raise CouplerConflictError(
+                    f"slot {slot_index}: {coupler!r} driven by processors "
+                    f"{senders[coupler]} and {sender}"
+                )
+            # Schedules reference packets by identity (source, destination);
+            # resolve to the buffered instance so payloads travel with them.
+            try:
+                buffered = buffers[sender][buffers[sender].index(packet)]
+            except ValueError:
+                raise SimulationError(
+                    f"slot {slot_index}: processor {sender} does not hold {packet!r}"
+                ) from None
+            payloads[coupler] = buffered
+            senders[coupler] = sender
+            if transmission.consume and (sender, buffered) not in consumed:
+                consumed.append((sender, buffered))
+
+        # Phase 2: all reads happen simultaneously.
+        readers: set[int] = set()
+        deliveries: list[tuple[int, Packet]] = []
+        for reception in slot.receptions:
+            receiver = reception.receiver
+            coupler = reception.coupler
+            if not self.network.can_receive(receiver, coupler):
+                raise TransmitterError(
+                    f"slot {slot_index}: processor {receiver} cannot read {coupler!r}"
+                )
+            if receiver in readers:
+                raise ReceiverConflictError(
+                    f"slot {slot_index}: processor {receiver} reads two couplers"
+                )
+            readers.add(receiver)
+            if coupler not in payloads:
+                if self.strict_receptions:
+                    raise SimulationError(
+                        f"slot {slot_index}: processor {receiver} reads idle {coupler!r}"
+                    )
+                continue
+            deliveries.append((receiver, payloads[coupler]))
+
+        # Phase 3: commit buffer changes (sends leave, reads arrive).
+        for sender, packet in consumed:
+            buffers[sender].remove(packet)
+        for receiver, packet in deliveries:
+            buffers[receiver].append(packet)
+
+        return SlotTrace(
+            slot_index=slot_index,
+            coupler_payloads=payloads,
+            deliveries=deliveries,
+        )
+
+    # -- convenience -------------------------------------------------------------------
+
+    def route_and_verify(
+        self, schedule: RoutingSchedule, packets: list[Packet]
+    ) -> SimulationResult:
+        """Run ``schedule`` and assert every packet reached its destination."""
+        result = self.run(schedule, packets)
+        result.verify_permutation_delivery(packets)
+        return result

@@ -1,0 +1,74 @@
+"""Execution traces and aggregate statistics for simulated schedules.
+
+The simulator records, per slot, which couplers carried which packets and how
+every processor's buffer changed.  Traces feed the analysis layer (coupler
+utilisation, packets moved per slot) and make failed runs debuggable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pops.packet import Packet
+from repro.pops.topology import Coupler
+
+__all__ = ["SlotTrace", "SimulationTrace"]
+
+
+@dataclass
+class SlotTrace:
+    """What happened during one simulated slot."""
+
+    slot_index: int
+    coupler_payloads: dict[Coupler, Packet] = field(default_factory=dict)
+    deliveries: list[tuple[int, Packet]] = field(default_factory=list)
+
+    @property
+    def packets_moved(self) -> int:
+        """Number of couplers that carried a packet this slot."""
+        return len(self.coupler_payloads)
+
+    @property
+    def packets_received(self) -> int:
+        """Number of (processor, packet) receptions this slot."""
+        return len(self.deliveries)
+
+
+@dataclass
+class SimulationTrace:
+    """Trace of a whole simulation run."""
+
+    slots: list[SlotTrace] = field(default_factory=list)
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots executed."""
+        return len(self.slots)
+
+    @property
+    def total_packets_moved(self) -> int:
+        """Total coupler-slot usages across the run."""
+        return sum(slot.packets_moved for slot in self.slots)
+
+    def coupler_usage(self) -> dict[Coupler, int]:
+        """How many slots each coupler carried a packet for."""
+        usage: dict[Coupler, int] = {}
+        for slot in self.slots:
+            for coupler in slot.coupler_payloads:
+                usage[coupler] = usage.get(coupler, 0) + 1
+        return usage
+
+    def max_coupler_usage(self) -> int:
+        """The busiest coupler's number of used slots (0 for an empty trace)."""
+        usage = self.coupler_usage()
+        return max(usage.values(), default=0)
+
+    def mean_coupler_utilisation(self, n_couplers: int) -> float:
+        """Average fraction of couplers busy per slot."""
+        if not self.slots or n_couplers == 0:
+            return 0.0
+        return self.total_packets_moved / (len(self.slots) * n_couplers)
+
+    def packets_moved_per_slot(self) -> list[int]:
+        """Packets moved in each slot, in execution order."""
+        return [slot.packets_moved for slot in self.slots]

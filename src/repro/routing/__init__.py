@@ -1,0 +1,56 @@
+"""Routing layer: the paper's contribution and the baselines it is compared to.
+
+* :mod:`~repro.routing.list_system` / :mod:`~repro.routing.fair_distribution`
+  implement Theorem 1 (every proper list system admits a fair distribution,
+  computed by edge-colouring a regular bipartite multigraph).
+* :mod:`~repro.routing.permutation_router` implements Theorem 2 (any
+  permutation routes in 1 slot when ``d = 1`` and ``2⌈d/g⌉`` slots otherwise).
+* :mod:`~repro.routing.one_slot` implements the Gravenstreter–Melhem
+  characterisation of single-slot routability.
+* :mod:`~repro.routing.lower_bounds` implements Propositions 1–3.
+* :mod:`~repro.routing.baselines` contains the specialised and greedy routers
+  used as comparison points in the benchmarks.
+"""
+
+from repro.routing.list_system import ListSystem
+from repro.routing.fair_distribution import (
+    FairDistribution,
+    FairDistributionSolver,
+    verify_fair_distribution,
+)
+from repro.routing.permutation_router import PermutationRouter, RoutingPlan
+from repro.routing.one_slot import (
+    is_one_slot_routable,
+    one_slot_schedule,
+    OneSlotRouter,
+)
+from repro.routing.lower_bounds import (
+    is_group_blocked,
+    is_group_moving,
+    proposition1_lower_bound,
+    proposition2_lower_bound,
+    proposition3_lower_bound,
+    best_known_lower_bound,
+)
+from repro.routing.relation import HRelation, HRelationRouter, h_relation_slot_bound
+
+__all__ = [
+    "HRelation",
+    "HRelationRouter",
+    "h_relation_slot_bound",
+    "ListSystem",
+    "FairDistribution",
+    "FairDistributionSolver",
+    "verify_fair_distribution",
+    "PermutationRouter",
+    "RoutingPlan",
+    "is_one_slot_routable",
+    "one_slot_schedule",
+    "OneSlotRouter",
+    "is_group_blocked",
+    "is_group_moving",
+    "proposition1_lower_bound",
+    "proposition2_lower_bound",
+    "proposition3_lower_bound",
+    "best_known_lower_bound",
+]

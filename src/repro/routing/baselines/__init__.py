@@ -1,0 +1,27 @@
+"""Baseline routers the paper's algorithm is compared against.
+
+* :mod:`~repro.routing.baselines.direct` — single-hop scheduling: every packet
+  travels straight from its source group to its destination group and packets
+  competing for a coupler are serialised over slots.  Optimal for traffic that
+  is already balanced across group pairs (e.g. matrix transpose, where it
+  achieves Sahni's ``⌈d/g⌉`` bound) but degenerates to ``d`` slots on
+  group-blocked traffic.
+* :mod:`~repro.routing.baselines.blocked` — the Sahni-style specialised
+  two-hop router for group-blocked permutations (vector reversal, hypercube
+  dimension exchanges, mesh row/column shifts, …): the fair distribution is
+  given by a closed formula instead of an edge colouring, yet the slot count
+  matches Theorem 2.
+"""
+
+from repro.routing.baselines.direct import DirectRouter, direct_slots_required
+from repro.routing.baselines.blocked import (
+    BlockedPermutationRouter,
+    blocked_fair_values,
+)
+
+__all__ = [
+    "DirectRouter",
+    "direct_slots_required",
+    "BlockedPermutationRouter",
+    "blocked_fair_values",
+]

@@ -1,0 +1,170 @@
+"""The universal permutation router (Theorem 2).
+
+Given a POPS(d, g) network and a permutation ``π`` of its ``n = d·g``
+processors, :class:`PermutationRouter` produces a
+:class:`~repro.pops.schedule.RoutingSchedule` that delivers every packet using
+
+* ``1`` slot when ``d = 1``;
+* ``2`` slots when ``1 < d <= g``;
+* ``2·⌈d/g⌉`` slots when ``d > g``
+
+— exactly the bounds of Theorem 2.  The construction follows the paper's
+proof: a proper list system is built from ``π`` (``L(h, i)`` is the destination
+group of the ``i``-th packet of group ``h``), Theorem 1 yields a fair
+distribution ``f`` (computed by edge-colouring a regular bipartite multigraph,
+see :mod:`repro.routing.fair_distribution`), and the schedule scatters packets
+to the intermediate groups dictated by ``f`` before delivering them directly in
+a conflict-free slot (Fact 1).  The schedule construction itself is shared with
+the specialised routers and lives in :mod:`repro.routing.two_hop`.
+
+Implementation note (``d > g`` case).  The paper indexes each round's packets
+by their position inside the source group (``i ∈ [k·g, (k+1)·g)``), while this
+implementation routes in round ``k`` the packets whose *fair-distribution
+value* lies in ``[k·g, (k+1)·g)`` and uses intermediate group
+``f(h, i) - k·g``.  Because ``f(h, ·)`` is injective (condition 1) the two
+indexings differ only by a per-group reordering of rounds; the value-window
+form makes every claimed property immediate: per round and per source group
+the intermediate groups are distinct (no transmit conflicts), per round each
+intermediate group receives at most ``g`` packets on distinct couplers
+(conditions 1–2), and two packets sharing a destination group never share an
+intermediate group within a round (condition 3), so the delivery slot is
+conflict-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import RoutingError
+from repro.pops.packet import Packet
+from repro.pops.schedule import RoutingSchedule
+from repro.pops.topology import POPSNetwork
+from repro.routing.fair_distribution import FairDistribution, FairDistributionSolver
+from repro.routing.list_system import ListSystem
+from repro.routing.two_hop import build_theorem2_schedule
+from repro.utils.validation import check_permutation
+
+__all__ = ["PermutationRouter", "RoutingPlan", "theorem2_slot_bound"]
+
+
+def theorem2_slot_bound(d: int, g: int) -> int:
+    """The slot count Theorem 2 guarantees for POPS(d, g): 1 if d == 1 else 2⌈d/g⌉."""
+    if d == 1:
+        return 1
+    return 2 * ((d + g - 1) // g)
+
+
+@dataclass
+class RoutingPlan:
+    """A fully materialised routing of one permutation.
+
+    Attributes
+    ----------
+    network:
+        The target POPS network.
+    permutation:
+        The routed permutation in one-line notation.
+    packets:
+        One packet per processor ``i`` with destination ``π(i)``.
+    schedule:
+        The slot-by-slot schedule implementing the routing.
+    fair_distribution:
+        The Theorem 1 fair distribution used (``None`` for the trivial
+        ``d = 1`` case).
+    intermediate_assignment:
+        Mapping ``source processor -> intermediate group`` used by the scatter
+        slot of the packet's round (empty for ``d = 1``).
+    """
+
+    network: POPSNetwork
+    permutation: list[int]
+    packets: list[Packet]
+    schedule: RoutingSchedule
+    fair_distribution: FairDistribution | None = None
+    intermediate_assignment: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots the plan uses."""
+        return self.schedule.n_slots
+
+    @property
+    def meets_theorem2_bound(self) -> bool:
+        """True iff the plan uses exactly the slot count promised by Theorem 2."""
+        return self.n_slots == theorem2_slot_bound(self.network.d, self.network.g)
+
+
+class PermutationRouter:
+    """Routes arbitrary permutations on a POPS(d, g) network per Theorem 2.
+
+    Parameters
+    ----------
+    network:
+        The POPS network to route on.
+    backend:
+        Edge-colouring backend used by the fair-distribution solver
+        (``"konig"`` or ``"euler"``).
+    verify:
+        Forwarded to :class:`FairDistributionSolver`; when ``True`` the fair
+        distribution is re-checked against its definition.
+    """
+
+    def __init__(self, network: POPSNetwork, backend: str = "konig", verify: bool = True):
+        self.network = network
+        self.solver = FairDistributionSolver(backend=backend, verify=verify)
+
+    # -- public API ----------------------------------------------------------------
+
+    def route(self, pi: Sequence[int]) -> RoutingPlan:
+        """Produce a routing plan delivering packet ``i`` to processor ``pi[i]``."""
+        network = self.network
+        images = check_permutation(pi, network.n)
+        packets = [Packet(source=i, destination=images[i]) for i in range(network.n)]
+
+        if network.d == 1:
+            schedule = self._route_d_equals_1(packets)
+            plan = RoutingPlan(network, images, packets, schedule)
+        else:
+            system = ListSystem.from_permutation(images, network.d, network.g)
+            distribution = self.solver.solve(system)
+            schedule, intermediates = build_theorem2_schedule(
+                network,
+                packets,
+                distribution,
+                description=f"theorem2 router (backend={self.solver.backend})",
+            )
+            plan = RoutingPlan(
+                network=network,
+                permutation=images,
+                packets=packets,
+                schedule=schedule,
+                fair_distribution=distribution,
+                intermediate_assignment=intermediates,
+            )
+
+        expected = theorem2_slot_bound(network.d, network.g)
+        if plan.n_slots != expected:
+            raise RoutingError(
+                f"internal error: produced {plan.n_slots} slots, Theorem 2 promises {expected}"
+            )
+        return plan
+
+    def slots_required(self) -> int:
+        """Slot count Theorem 2 guarantees on this router's network."""
+        return theorem2_slot_bound(self.network.d, self.network.g)
+
+    # -- case d == 1 --------------------------------------------------------------------
+
+    def _route_d_equals_1(self, packets: list[Packet]) -> RoutingSchedule:
+        """POPS(1, n) is a fully connected network: one direct slot suffices."""
+        network = self.network
+        schedule = RoutingSchedule(network=network, description="theorem2:d=1 direct")
+        slot = schedule.new_slot()
+        for packet in packets:
+            source_group = network.group_of(packet.source)
+            dest_group = network.group_of(packet.destination)
+            coupler = network.coupler(dest_group, source_group)
+            slot.add_transmission(packet.source, coupler, packet)
+            slot.add_reception(packet.destination, coupler)
+        return schedule

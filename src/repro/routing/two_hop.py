@@ -1,0 +1,234 @@
+"""Shared construction of two-hop (scatter → deliver) schedules.
+
+Both the universal router of Theorem 2 and the specialised routers for
+structured permutation families (group-blocked permutations, hypercube and
+mesh simulation steps, vector reversal, …) produce the *same kind* of
+schedule: every packet is assigned an intermediate value by some fair
+distribution ``f`` — computed via edge colouring in the general case, by a
+closed formula in the structured cases — and the schedule scatters packets to
+the group encoded by that value before delivering them in a conflict-free slot
+(Fact 1).  This module owns that construction so the routers only differ in
+how they obtain ``f``.
+
+Two shapes exist, mirroring the two non-trivial cases of Theorem 2's proof:
+
+* ``d <= g`` — ``f`` maps into ``N_g``; one round of two slots moves all
+  ``n`` packets (:func:`build_two_slot_schedule`).
+* ``d > g`` — ``f`` maps into ``N_d``; round ``k`` moves the packets whose
+  ``f`` value lies in ``[k·g, (k+1)·g)`` and uses intermediate group
+  ``f - k·g`` (:func:`build_round_schedule`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import RoutingError
+from repro.pops.packet import Packet
+from repro.pops.schedule import RoutingSchedule
+from repro.pops.topology import POPSNetwork
+
+__all__ = [
+    "FairValueFunction",
+    "build_two_slot_schedule",
+    "build_round_schedule",
+    "build_theorem2_schedule",
+]
+
+#: ``f(group, local_index) -> intermediate value`` — the fair-distribution interface.
+FairValueFunction = Callable[[int, int], int]
+
+
+def build_two_slot_schedule(
+    network: POPSNetwork,
+    packets: list[Packet],
+    fair_value: FairValueFunction,
+    description: str = "two-hop (d<=g)",
+) -> tuple[RoutingSchedule, dict[int, int]]:
+    """Build the two-slot scatter/deliver schedule for the ``d <= g`` case.
+
+    Parameters
+    ----------
+    network:
+        Target POPS network with ``d <= g``.
+    packets:
+        One packet per processor, ``packets[p].source == p``.
+    fair_value:
+        A fair distribution into ``N_g``: for group ``h`` and local index ``i``
+        it returns the intermediate group of the packet at processor
+        ``h·d + i``.  Conditions (1)–(3) of the fair-distribution definition
+        are assumed; violations are detected while building (conflicting
+        coupler or unbalanced arrivals) and raise :class:`RoutingError`.
+
+    Returns
+    -------
+    (schedule, intermediates)
+        The two-slot schedule and the mapping ``source processor ->
+        intermediate group``.
+    """
+    d, g = network.d, network.g
+    if d > g:
+        raise RoutingError(
+            f"build_two_slot_schedule requires d <= g, got d={d}, g={g}"
+        )
+    schedule = RoutingSchedule(network=network, description=description)
+    scatter = schedule.new_slot()
+    deliver = schedule.new_slot()
+    intermediates: dict[int, int] = {}
+
+    arrivals: dict[int, list[tuple[int, Packet]]] = {j: [] for j in range(g)}
+    for h in range(g):
+        for i in range(d):
+            source = network.processor(h, i)
+            packet = packets[source]
+            intermediate_group = fair_value(h, i)
+            if not (0 <= intermediate_group < g):
+                raise RoutingError(
+                    f"fair value {intermediate_group} for processor {source} is not a group"
+                )
+            intermediates[source] = intermediate_group
+            coupler = network.coupler(intermediate_group, h)
+            scatter.add_transmission(source, coupler, packet)
+            arrivals[intermediate_group].append((h, packet))
+
+    holder_of_packet: dict[Packet, int] = {}
+    for intermediate_group, incoming in arrivals.items():
+        if len(incoming) != d:
+            raise RoutingError(
+                f"intermediate group {intermediate_group} receives {len(incoming)} packets, "
+                f"expected exactly d={d} (fair-distribution condition 2 violated)"
+            )
+        source_groups = [source_group for source_group, _ in incoming]
+        if len(set(source_groups)) != len(source_groups):
+            raise RoutingError(
+                f"intermediate group {intermediate_group} receives two packets from the "
+                "same source group (fair-distribution condition 1 violated)"
+            )
+        incoming_in_order = sorted(incoming, key=lambda item: item[0])
+        for local_index, (source_group, packet) in enumerate(incoming_in_order):
+            holder = network.processor(intermediate_group, local_index)
+            coupler = network.coupler(intermediate_group, source_group)
+            scatter.add_reception(holder, coupler)
+            holder_of_packet[packet] = holder
+
+    _add_delivery_slot(network, deliver, packets, holder_of_packet)
+    return schedule, intermediates
+
+
+def build_round_schedule(
+    network: POPSNetwork,
+    packets: list[Packet],
+    fair_value: FairValueFunction,
+    description: str = "two-hop rounds (d>g)",
+) -> tuple[RoutingSchedule, dict[int, int]]:
+    """Build the ``⌈d/g⌉``-round schedule for the ``d > g`` case.
+
+    ``fair_value`` must be a fair distribution into ``N_d``; round ``k`` moves
+    the packets whose value lies in the window ``[k·g, (k+1)·g)`` and the
+    intermediate group is the value minus ``k·g``.
+
+    Returns
+    -------
+    (schedule, intermediates)
+        The ``2⌈d/g⌉``-slot schedule and the mapping ``source processor ->
+        intermediate group`` (the within-round group, not the raw value).
+    """
+    d, g = network.d, network.g
+    if d <= g:
+        raise RoutingError(
+            f"build_round_schedule requires d > g, got d={d}, g={g}"
+        )
+    n_rounds = (d + g - 1) // g
+    schedule = RoutingSchedule(network=network, description=description)
+    intermediates: dict[int, int] = {}
+
+    rounds: list[list[tuple[int, Packet, int]]] = [[] for _ in range(n_rounds)]
+    for h in range(g):
+        seen_values: set[int] = set()
+        for i in range(d):
+            source = network.processor(h, i)
+            packet = packets[source]
+            value = fair_value(h, i)
+            if not (0 <= value < d):
+                raise RoutingError(
+                    f"fair value {value} for processor {source} is outside N_d"
+                )
+            if value in seen_values:
+                raise RoutingError(
+                    f"group {h} assigns fair value {value} twice "
+                    "(fair-distribution condition 1 violated)"
+                )
+            seen_values.add(value)
+            round_index, intermediate_group = divmod(value, g)
+            rounds[round_index].append((h, packet, intermediate_group))
+            intermediates[source] = intermediate_group
+
+    for members in rounds:
+        scatter = schedule.new_slot()
+        deliver = schedule.new_slot()
+        holder_of_packet: dict[Packet, int] = {}
+        arrivals: dict[int, set[int]] = {}
+
+        for h, packet, intermediate_group in members:
+            coupler = network.coupler(intermediate_group, h)
+            scatter.add_transmission(packet.source, coupler, packet)
+            # The receiver in the intermediate group is the processor whose
+            # local index equals the incoming source group; g <= d guarantees
+            # it exists and injectivity of f per group guarantees uniqueness.
+            holder = network.processor(intermediate_group, h)
+            scatter.add_reception(holder, coupler)
+            holder_of_packet[packet] = holder
+            sources_seen = arrivals.setdefault(intermediate_group, set())
+            if h in sources_seen:
+                raise RoutingError(
+                    f"two packets of one round share coupler c({intermediate_group},{h}) "
+                    "(fair-distribution condition 2 violated)"
+                )
+            sources_seen.add(h)
+
+        _add_delivery_slot(
+            network, deliver, [packet for _, packet, _ in members], holder_of_packet
+        )
+
+    return schedule, intermediates
+
+
+def build_theorem2_schedule(
+    network: POPSNetwork,
+    packets: list[Packet],
+    fair_value: FairValueFunction,
+    description: str = "theorem2",
+) -> tuple[RoutingSchedule, dict[int, int]]:
+    """Dispatch to the two-slot or round-based builder depending on d vs g."""
+    if network.d <= network.g:
+        return build_two_slot_schedule(network, packets, fair_value, description)
+    return build_round_schedule(network, packets, fair_value, description)
+
+
+def _add_delivery_slot(
+    network: POPSNetwork,
+    deliver,
+    packets: list[Packet],
+    holder_of_packet: dict[Packet, int],
+) -> None:
+    """Populate ``deliver`` with the Fact 1 direct delivery of ``packets``.
+
+    Every packet travels from its current holder's group straight to its
+    destination group; fairness of the preceding scatter guarantees no two
+    packets need the same coupler.
+    """
+    couplers_seen: set[tuple[int, int]] = set()
+    for packet in packets:
+        holder = holder_of_packet[packet]
+        holder_group = network.group_of(holder)
+        dest_group = network.group_of(packet.destination)
+        key = (dest_group, holder_group)
+        if key in couplers_seen:
+            raise RoutingError(
+                f"delivery slot needs coupler c{key} twice; the packets were not "
+                "fairly distributed after the scatter slot"
+            )
+        couplers_seen.add(key)
+        coupler = network.coupler(dest_group, holder_group)
+        deliver.add_transmission(holder, coupler, packet)
+        deliver.add_reception(packet.destination, coupler)

@@ -1,0 +1,75 @@
+"""Bit-manipulation helpers.
+
+These back the BPC (bit-permute-complement) permutation family and the
+hypercube simulation patterns, where processor indices are manipulated through
+their binary representations.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "bit_length_exact",
+    "is_power_of_two",
+    "reverse_bits",
+    "flip_bit",
+    "get_bit",
+    "set_bit",
+    "gray_code",
+    "gray_to_binary",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def bit_length_exact(value: int) -> int:
+    """Return ``k`` such that ``value == 2**k``; raise if ``value`` is not a power of two."""
+    if not is_power_of_two(value):
+        raise ValidationError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def get_bit(value: int, bit: int) -> int:
+    """Return bit ``bit`` (0 = least significant) of ``value``."""
+    return (value >> bit) & 1
+
+
+def set_bit(value: int, bit: int, bit_value: int) -> int:
+    """Return ``value`` with bit ``bit`` forced to ``bit_value`` (0 or 1)."""
+    if bit_value not in (0, 1):
+        raise ValidationError(f"bit_value must be 0 or 1, got {bit_value}")
+    if bit_value:
+        return value | (1 << bit)
+    return value & ~(1 << bit)
+
+
+def flip_bit(value: int, bit: int) -> int:
+    """Return ``value`` with bit ``bit`` complemented."""
+    return value ^ (1 << bit)
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Return ``value`` with its ``width`` least significant bits reversed."""
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def gray_code(value: int) -> int:
+    """Return the binary-reflected Gray code of ``value``."""
+    return value ^ (value >> 1)
+
+
+def gray_to_binary(gray: int) -> int:
+    """Invert :func:`gray_code`."""
+    result = 0
+    while gray:
+        result ^= gray
+        gray >>= 1
+    return result

@@ -1,0 +1,261 @@
+"""Permutation algebra.
+
+Permutations over ``{0, ..., n-1}`` are represented in *one-line notation* as
+sequences of images: ``pi[i]`` is the destination of element ``i``.  The
+:class:`Permutation` class wraps such a sequence with composition, inversion,
+cycle utilities and the classification predicates used by the lower-bound
+propositions of the paper.  Free functions operating on plain lists are also
+exported for use in hot loops where object overhead matters.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_permutation, check_positive_int
+
+__all__ = [
+    "Permutation",
+    "identity_permutation",
+    "compose",
+    "invert",
+    "is_permutation",
+    "is_derangement",
+    "is_involution",
+    "cycle_decomposition",
+    "permutation_from_cycles",
+    "fixed_points",
+    "random_permutation",
+    "random_derangement",
+]
+
+
+def identity_permutation(n: int) -> list[int]:
+    """Return the identity permutation on ``n`` elements."""
+    check_positive_int(n, "n")
+    return list(range(n))
+
+
+def is_permutation(pi: Sequence[int]) -> bool:
+    """Return ``True`` iff ``pi`` is a permutation of ``{0, ..., len(pi)-1}``."""
+    try:
+        check_permutation(pi)
+    except ValidationError:
+        return False
+    return True
+
+
+def compose(outer: Sequence[int], inner: Sequence[int]) -> list[int]:
+    """Return the composition ``outer ∘ inner`` (apply ``inner`` first).
+
+    ``compose(sigma, tau)[i] == sigma[tau[i]]``.
+    """
+    if len(outer) != len(inner):
+        raise ValidationError(
+            f"cannot compose permutations of different sizes "
+            f"({len(outer)} and {len(inner)})"
+        )
+    return [outer[inner[i]] for i in range(len(inner))]
+
+
+def invert(pi: Sequence[int]) -> list[int]:
+    """Return the inverse permutation of ``pi``."""
+    inverse = [0] * len(pi)
+    for source, image in enumerate(pi):
+        inverse[image] = source
+    return inverse
+
+
+def fixed_points(pi: Sequence[int]) -> list[int]:
+    """Return the sorted list of fixed points of ``pi``."""
+    return [i for i, image in enumerate(pi) if image == i]
+
+
+def is_derangement(pi: Sequence[int]) -> bool:
+    """Return ``True`` iff ``pi`` has no fixed points (``pi(i) != i`` for all i)."""
+    return all(image != i for i, image in enumerate(pi))
+
+
+def is_involution(pi: Sequence[int]) -> bool:
+    """Return ``True`` iff ``pi`` is its own inverse."""
+    return all(pi[pi[i]] == i for i in range(len(pi)))
+
+
+def cycle_decomposition(pi: Sequence[int]) -> list[list[int]]:
+    """Return the cycle decomposition of ``pi``.
+
+    Cycles are returned with their smallest element first and are ordered by
+    that smallest element.  Fixed points appear as singleton cycles.
+    """
+    n = len(pi)
+    visited = [False] * n
+    cycles: list[list[int]] = []
+    for start in range(n):
+        if visited[start]:
+            continue
+        cycle = [start]
+        visited[start] = True
+        current = pi[start]
+        while current != start:
+            cycle.append(current)
+            visited[current] = True
+            current = pi[current]
+        cycles.append(cycle)
+    return cycles
+
+
+def permutation_from_cycles(cycles: Iterable[Iterable[int]], n: int) -> list[int]:
+    """Build a permutation on ``n`` elements from a collection of disjoint cycles.
+
+    Elements not mentioned in any cycle are fixed points.
+    """
+    check_positive_int(n, "n")
+    pi = list(range(n))
+    seen: set[int] = set()
+    for cycle in cycles:
+        elements = list(cycle)
+        for element in elements:
+            if not (0 <= element < n):
+                raise ValidationError(f"cycle element {element} out of range [0, {n})")
+            if element in seen:
+                raise ValidationError(f"element {element} appears in more than one cycle")
+            seen.add(element)
+        for position, element in enumerate(elements):
+            pi[element] = elements[(position + 1) % len(elements)]
+    return pi
+
+
+def random_permutation(n: int, rng: random.Random | None = None) -> list[int]:
+    """Return a uniformly random permutation of ``n`` elements."""
+    check_positive_int(n, "n")
+    rng = rng or random.Random()
+    pi = list(range(n))
+    rng.shuffle(pi)
+    return pi
+
+
+def random_derangement(n: int, rng: random.Random | None = None) -> list[int]:
+    """Return a uniformly random derangement of ``n`` elements.
+
+    Uses rejection sampling on uniform permutations, which succeeds with
+    probability approaching ``1/e``; for ``n == 1`` no derangement exists and a
+    :class:`ValidationError` is raised.
+    """
+    check_positive_int(n, "n")
+    if n == 1:
+        raise ValidationError("no derangement exists on a single element")
+    rng = rng or random.Random()
+    while True:
+        candidate = random_permutation(n, rng)
+        if is_derangement(candidate):
+            return candidate
+
+
+class Permutation:
+    """An immutable permutation of ``{0, ..., n-1}`` in one-line notation.
+
+    Supports composition with ``*`` (``(p * q)(i) == p(q(i))``), inversion,
+    iteration over images, indexing and equality.  Instances validate their
+    input eagerly so downstream code can assume well-formedness.
+    """
+
+    __slots__ = ("_images",)
+
+    def __init__(self, images: Sequence[int]):
+        self._images: tuple[int, ...] = tuple(check_permutation(images))
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        """The identity permutation on ``n`` elements."""
+        return cls(identity_permutation(n))
+
+    @classmethod
+    def from_cycles(cls, cycles: Iterable[Iterable[int]], n: int) -> "Permutation":
+        """Build a permutation from disjoint cycles (unmentioned points are fixed)."""
+        return cls(permutation_from_cycles(cycles, n))
+
+    @classmethod
+    def random(cls, n: int, rng: random.Random | None = None) -> "Permutation":
+        """A uniformly random permutation on ``n`` elements."""
+        return cls(random_permutation(n, rng))
+
+    @classmethod
+    def random_derangement(cls, n: int, rng: random.Random | None = None) -> "Permutation":
+        """A uniformly random derangement on ``n`` elements."""
+        return cls(random_derangement(n, rng))
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def __getitem__(self, i: int) -> int:
+        return self._images[i]
+
+    def __call__(self, i: int) -> int:
+        return self._images[i]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._images)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Permutation):
+            return self._images == other._images
+        if isinstance(other, (list, tuple)):
+            return list(self._images) == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._images)
+
+    def __repr__(self) -> str:
+        return f"Permutation({list(self._images)!r})"
+
+    def __mul__(self, other: "Permutation") -> "Permutation":
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return Permutation(compose(self._images, other._images))
+
+    # -- algebra -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of elements the permutation acts on."""
+        return len(self._images)
+
+    def to_list(self) -> list[int]:
+        """Return the one-line notation as a new list."""
+        return list(self._images)
+
+    def inverse(self) -> "Permutation":
+        """Return the inverse permutation."""
+        return Permutation(invert(self._images))
+
+    def cycles(self) -> list[list[int]]:
+        """Return the cycle decomposition (fixed points as singletons)."""
+        return cycle_decomposition(self._images)
+
+    def fixed_points(self) -> list[int]:
+        """Return the sorted list of fixed points."""
+        return fixed_points(self._images)
+
+    def is_derangement(self) -> bool:
+        """True iff the permutation has no fixed points."""
+        return is_derangement(self._images)
+
+    def is_involution(self) -> bool:
+        """True iff the permutation is its own inverse."""
+        return is_involution(self._images)
+
+    def order(self) -> int:
+        """Return the order of the permutation in the symmetric group."""
+        from math import lcm
+
+        result = 1
+        for cycle in self.cycles():
+            result = lcm(result, len(cycle))
+        return result

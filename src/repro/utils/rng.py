@@ -1,0 +1,41 @@
+"""Deterministic random-number helpers.
+
+Every stochastic routine in the library accepts either an explicit
+:class:`random.Random`, an integer seed, or ``None``; :func:`resolve_rng`
+normalises those three spellings to a concrete generator so experiments are
+reproducible by passing a seed at the top level only.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["resolve_rng", "spawn_rngs"]
+
+
+def resolve_rng(rng: random.Random | int | None) -> random.Random:
+    """Normalise ``rng`` to a :class:`random.Random` instance.
+
+    ``None`` produces a generator seeded from the system source; an ``int`` is
+    used as a seed; an existing generator is returned unchanged.
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, bool):
+        raise TypeError("rng seed must be an int, Random, or None; got bool")
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(f"rng must be an int seed, random.Random, or None; got {type(rng).__name__}")
+
+
+def spawn_rngs(rng: random.Random | int | None, count: int) -> list[random.Random]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Children are seeded from successive draws of the parent so a single
+    top-level seed yields a reproducible family of streams (one per worker,
+    repetition, or parameter point).
+    """
+    parent = resolve_rng(rng)
+    return [random.Random(parent.getrandbits(64)) for _ in range(count)]

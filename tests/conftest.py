@@ -1,0 +1,54 @@
+"""Shared pytest fixtures.
+
+Fixtures provide deterministic RNGs and a representative set of POPS network
+shapes covering all three regimes of Theorem 2 (``d = 1``, ``1 < d <= g``,
+``d > g``) plus the degenerate single-group and square cases.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pops.topology import POPSNetwork
+
+#: (d, g) pairs used by parametrised tests; chosen to cover every routing regime.
+NETWORK_SHAPES = [
+    (1, 6),   # d = 1: one-slot regime
+    (2, 8),   # 1 < d <= g
+    (4, 4),   # d = g (square)
+    (3, 7),   # coprime, d < g
+    (8, 4),   # d > g, g | d
+    (9, 3),   # d > g, g | d
+    (7, 5),   # d > g, g does not divide d (partial last round)
+    (5, 1),   # single group
+]
+
+SMALL_SHAPES = [(2, 3), (3, 3), (4, 2), (2, 2), (1, 4), (3, 1)]
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; reseeded per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(params=NETWORK_SHAPES, ids=lambda shape: f"d{shape[0]}g{shape[1]}")
+def network(request) -> POPSNetwork:
+    """A POPS network, parametrised over all routing regimes."""
+    d, g = request.param
+    return POPSNetwork(d, g)
+
+
+@pytest.fixture(params=SMALL_SHAPES, ids=lambda shape: f"d{shape[0]}g{shape[1]}")
+def small_network(request) -> POPSNetwork:
+    """A small POPS network for exhaustive / simulation-heavy tests."""
+    d, g = request.param
+    return POPSNetwork(d, g)
+
+
+@pytest.fixture
+def square_network() -> POPSNetwork:
+    """The POPS(3, 3) network used by the paper's Figure 3."""
+    return POPSNetwork(3, 3)

@@ -1,0 +1,161 @@
+"""Tests for distributed matrix operations and the hypercube/mesh emulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.emulation import HypercubeEmulator, MeshEmulator
+from repro.algorithms.matrix import cannon_matrix_multiply, distributed_transpose
+from repro.exceptions import ValidationError
+from repro.pops.topology import POPSNetwork
+from repro.routing.permutation_router import theorem2_slot_bound
+from repro.utils.permutations import random_permutation
+
+
+class TestDistributedTranspose:
+    @pytest.mark.parametrize("d,g", [(4, 4), (2, 8), (8, 2)])
+    def test_router_method_correct(self, d, g, rng):
+        network = POPSNetwork(d, g)
+        m = int(round(network.n ** 0.5))
+        matrix = np.arange(m * m).reshape(m, m)
+        transposed, slots = distributed_transpose(network, matrix, method="router")
+        assert (transposed == matrix.T).all()
+        assert slots == theorem2_slot_bound(d, g)
+
+    def test_direct_method_correct_and_cheaper(self):
+        network = POPSNetwork(6, 6)
+        matrix = np.arange(36).reshape(6, 6)
+        transposed, slots = distributed_transpose(network, matrix, method="direct")
+        assert (transposed == matrix.T).all()
+        assert slots == 1
+
+    def test_requires_square_processor_count(self):
+        with pytest.raises(ValidationError):
+            distributed_transpose(POPSNetwork(2, 6), np.zeros((4, 3)))
+
+    def test_requires_matching_matrix_shape(self):
+        with pytest.raises(ValidationError):
+            distributed_transpose(POPSNetwork(4, 4), np.zeros((3, 3)))
+
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError):
+            distributed_transpose(POPSNetwork(4, 4), np.zeros((4, 4)), method="magic")
+
+
+class TestCannonMultiply:
+    @pytest.mark.parametrize("d,g", [(4, 4), (2, 8), (8, 2)])
+    def test_matches_numpy(self, d, g):
+        network = POPSNetwork(d, g)
+        m = int(round(network.n ** 0.5))
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(m, m))
+        b = rng.normal(size=(m, m))
+        product, slots = cannon_matrix_multiply(network, a, b)
+        assert np.allclose(product, a @ b)
+        # 2 skews + 2*(m-1) shifts, each one routed permutation.
+        assert slots == theorem2_slot_bound(d, g) * (2 + 2 * (m - 1))
+
+    def test_identity_times_matrix(self):
+        network = POPSNetwork(3, 3)
+        a = np.eye(3)
+        b = np.arange(9.0).reshape(3, 3)
+        product, _ = cannon_matrix_multiply(network, a, b)
+        assert np.allclose(product, b)
+
+    def test_single_processor_mesh(self):
+        network = POPSNetwork(1, 1)
+        product, slots = cannon_matrix_multiply(network, np.array([[2.0]]), np.array([[3.0]]))
+        assert product[0, 0] == pytest.approx(6.0)
+
+    def test_requires_square_count(self):
+        with pytest.raises(ValidationError):
+            cannon_matrix_multiply(POPSNetwork(2, 6), np.zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_requires_matching_shapes(self):
+        with pytest.raises(ValidationError):
+            cannon_matrix_multiply(POPSNetwork(4, 4), np.zeros((4, 4)), np.zeros((3, 3)))
+
+
+class TestHypercubeEmulator:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValidationError):
+            HypercubeEmulator(POPSNetwork(3, 3))
+
+    def test_exchange_moves_values(self):
+        network = POPSNetwork(4, 4)
+        emulator = HypercubeEmulator(network)
+        values = list(range(16))
+        exchanged = emulator.exchange(values, bit=2)
+        assert exchanged == [i ^ 4 for i in range(16)]
+
+    def test_slots_per_step(self):
+        network = POPSNetwork(8, 4)
+        emulator = HypercubeEmulator(network)
+        assert emulator.slots_per_step == 4
+        emulator.exchange(list(range(32)), bit=0)
+        assert emulator.slots_used == 4
+
+    def test_mapping_independence(self, rng):
+        """Theorem 2 corollary: the simulation cost is mapping-independent."""
+        network = POPSNetwork(4, 4)
+        mapping = random_permutation(16, rng)
+        identity_emulator = HypercubeEmulator(network)
+        mapped_emulator = HypercubeEmulator(network, mapping=mapping)
+        values = [10 * i for i in range(16)]
+        for bit in range(4):
+            assert identity_emulator.exchange(values, bit) == mapped_emulator.exchange(
+                values, bit
+            )
+        assert identity_emulator.slots_used == mapped_emulator.slots_used
+
+    def test_dimensions_attribute(self):
+        assert HypercubeEmulator(POPSNetwork(2, 8)).dimensions == 4
+
+
+class TestMeshEmulator:
+    def test_requires_square_count(self):
+        with pytest.raises(ValidationError):
+            MeshEmulator(POPSNetwork(2, 6))
+
+    def test_row_shift_semantics(self):
+        network = POPSNetwork(3, 3)
+        emulator = MeshEmulator(network)
+        # Logical cell (i, j) holds value 10*i + j.
+        values = [0] * 9
+        for i in range(3):
+            for j in range(3):
+                values[i + j * 3] = 10 * i + j
+        shifted = emulator.shift(values, axis="row", offset=1)
+        for i in range(3):
+            for j in range(3):
+                assert shifted[i + j * 3] == 10 * i + ((j - 1) % 3)
+
+    def test_column_shift_semantics(self):
+        network = POPSNetwork(3, 3)
+        emulator = MeshEmulator(network)
+        values = list(range(9))
+        shifted = emulator.shift(values, axis="column", offset=1)
+        # The value of logical processor v moves to (row + 1) mod 3.
+        for r in range(3):
+            for c in range(3):
+                assert shifted[((r + 1) % 3) + c * 3] == values[r + c * 3]
+
+    def test_bad_axis(self):
+        emulator = MeshEmulator(POPSNetwork(2, 2))
+        with pytest.raises(ValidationError):
+            emulator.shift([0, 1, 2, 3], axis="diagonal")
+        with pytest.raises(ValidationError):
+            emulator.shift_permutation("diagonal")
+
+    def test_mapping_independence(self, rng):
+        network = POPSNetwork(4, 4)
+        mapping = random_permutation(16, rng)
+        identity_emulator = MeshEmulator(network)
+        mapped_emulator = MeshEmulator(network, mapping=mapping)
+        values = list(range(16))
+        assert identity_emulator.shift(values, "row") == mapped_emulator.shift(values, "row")
+        assert identity_emulator.slots_used == mapped_emulator.slots_used
+
+    def test_side_attribute(self):
+        assert MeshEmulator(POPSNetwork(8, 2)).side == 4

@@ -1,0 +1,77 @@
+"""Tests for the all-to-all / scatter / gather collectives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.alltoall import all_to_all_personalized, gather, scatter
+from repro.exceptions import ValidationError
+from repro.pops.topology import POPSNetwork
+from repro.routing.relation import h_relation_slot_bound
+
+
+class TestAllToAll:
+    @pytest.mark.parametrize("d,g", [(2, 3), (3, 2), (2, 2), (1, 4)])
+    def test_exchange_transposes_table(self, d, g):
+        network = POPSNetwork(d, g)
+        n = network.n
+        values = [[f"{i}->{j}" for j in range(n)] for i in range(n)]
+        received, slots = all_to_all_personalized(network, values)
+        for j in range(n):
+            for i in range(n):
+                assert received[j][i] == f"{i}->{j}"
+        assert slots <= h_relation_slot_bound(d, g, n - 1)
+
+    def test_rejects_non_square_table(self):
+        network = POPSNetwork(2, 2)
+        with pytest.raises(ValidationError):
+            all_to_all_personalized(network, [[0] * 3] * 4)
+
+    def test_numeric_payload(self):
+        network = POPSNetwork(2, 2)
+        values = [[10 * i + j for j in range(4)] for i in range(4)]
+        received, _ = all_to_all_personalized(network, values)
+        assert received[3][1] == 13
+
+
+class TestScatter:
+    @pytest.mark.parametrize("root", [0, 3, 5])
+    def test_everyone_gets_their_value(self, root):
+        network = POPSNetwork(2, 3)
+        values = [f"item{j}" for j in range(network.n)]
+        received, slots = scatter(network, root, values)
+        assert received == values
+        assert slots <= h_relation_slot_bound(2, 3, network.n - 1)
+
+    def test_rejects_bad_root(self):
+        with pytest.raises(ValidationError):
+            scatter(POPSNetwork(2, 2), 9, [0] * 4)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValidationError):
+            scatter(POPSNetwork(2, 2), 0, [0] * 3)
+
+
+class TestGather:
+    @pytest.mark.parametrize("root", [0, 2, 7])
+    def test_root_collects_everything(self, root):
+        network = POPSNetwork(2, 4)
+        values = [f"v{i}" for i in range(network.n)]
+        collected, slots = gather(network, root, values)
+        assert collected == values
+        assert slots <= h_relation_slot_bound(2, 4, network.n - 1)
+
+    def test_rejects_bad_root(self):
+        with pytest.raises(ValidationError):
+            gather(POPSNetwork(2, 2), -1, [0] * 4)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValidationError):
+            gather(POPSNetwork(2, 2), 0, [0] * 5)
+
+    def test_gather_then_scatter_roundtrip(self):
+        network = POPSNetwork(2, 2)
+        values = [f"x{i}" for i in range(4)]
+        collected, _ = gather(network, 0, values)
+        redistributed, _ = scatter(network, 0, collected)
+        assert redistributed == values

@@ -1,0 +1,139 @@
+"""Tests for the analysis layer: metrics, reporting and the experiment runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    run_direct_comparison,
+    run_figure3_example,
+    run_lower_bound_experiment,
+    run_one_slot_fraction,
+    run_scaling_experiment,
+    run_theorem2_sweep,
+    run_unification_experiment,
+)
+from repro.analysis.metrics import (
+    RoutingMetrics,
+    coupler_utilisation,
+    measure_routing,
+    slots_vs_bound,
+)
+from repro.analysis.reporting import format_experiment_report, format_table
+from repro.patterns.families import figure3_permutation, vector_reversal
+from repro.pops.topology import POPSNetwork
+from repro.utils.permutations import random_permutation
+
+
+class TestMetrics:
+    def test_measure_routing_fields(self, rng):
+        network = POPSNetwork(4, 4)
+        pi = random_permutation(16, rng)
+        metrics = measure_routing(network, pi)
+        assert isinstance(metrics, RoutingMetrics)
+        assert (metrics.d, metrics.g, metrics.n) == (4, 4, 16)
+        assert metrics.slots == 2
+        assert metrics.theorem2_bound == 2
+        assert metrics.meets_theorem2_bound
+        assert 0.0 < metrics.mean_coupler_utilisation <= 1.0
+
+    def test_optimality_ratio(self):
+        network = POPSNetwork(8, 4)
+        metrics = measure_routing(network, vector_reversal(32))
+        assert metrics.lower_bound == 4
+        assert metrics.optimality_ratio == 1.0
+
+    def test_optimality_ratio_infinite_for_identity(self):
+        network = POPSNetwork(2, 2)
+        metrics = measure_routing(network, list(range(4)))
+        assert metrics.lower_bound == 0
+        assert metrics.optimality_ratio == float("inf")
+
+    def test_slots_vs_bound(self):
+        assert slots_vs_bound(POPSNetwork(8, 4), 4) == 1.0
+        assert slots_vs_bound(POPSNetwork(8, 4), 8) == 2.0
+
+    def test_coupler_utilisation_full_for_square_reversal(self):
+        # Vector reversal on POPS(4,4): all 16 packets move in each of 2 slots
+        # through 16 couplers -> utilisation 1.0.
+        assert coupler_utilisation(POPSNetwork(4, 4), vector_reversal(16)) == 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "long header"], [[1, 2], [333, 4.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "long header" in lines[0]
+
+    def test_format_table_float_rendering(self):
+        table = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in table
+
+    def test_format_experiment_report_contains_sections(self):
+        report = format_experiment_report(
+            "T", "claim text", ["h1"], [[1]], notes={"key": "value"}
+        )
+        assert "== T ==" in report
+        assert "claim text" in report
+        assert "key: value" in report
+
+
+class TestExperimentRunners:
+    """Each runner doubles as an integration test over the full stack."""
+
+    def test_e1_small_sweep(self):
+        result = run_theorem2_sweep(configs=((2, 2), (3, 2), (2, 3)), trials=2, seed=1)
+        assert result.all_pass
+        assert result.experiment_id == "E1"
+        assert len(result.rows) == 3
+
+    def test_e2_figure3(self):
+        result = run_figure3_example()
+        assert result.all_pass
+        assert result.notes["slots used"] == 2
+        assert result.notes["list system proper"] is True
+        assert len(result.rows) == 9
+
+    def test_e3_scaling_small(self):
+        result = run_scaling_experiment(g_values=(2, 4), trials=1)
+        assert result.all_pass
+        assert len(result.rows) == 2
+        # Timing columns must be positive.
+        for row in result.rows:
+            assert row[2] > 0 and row[3] > 0
+
+    def test_e4_lower_bounds_small(self):
+        result = run_lower_bound_experiment(configs=((2, 2), (4, 2)), trials=1, seed=3)
+        assert result.all_pass
+        assert result.rows
+
+    def test_e6_direct_comparison_small(self):
+        result = run_direct_comparison(configs=((4, 2), (2, 4)), trials=1, seed=5)
+        assert result.all_pass
+        blocked_rows = [row for row in result.rows if row[2] == "group_blocked"]
+        # On blocked traffic with d > g the direct baseline is strictly worse.
+        row_d4 = next(row for row in blocked_rows if row[0] == 4 and row[1] == 2)
+        assert row_d4[4] >= row_d4[3]
+
+    def test_e7_one_slot_fraction_small(self):
+        result = run_one_slot_fraction(configs=((1, 4), (2, 2)), trials=30, seed=7)
+        assert result.all_pass
+        d1_row = next(row for row in result.rows if row[0] == 1)
+        assert d1_row[5] == 1.0  # every permutation is one-slot routable when d = 1
+
+    def test_registry_contains_all_eight(self):
+        assert sorted(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 9)]
+
+    def test_report_rendering(self):
+        result = run_theorem2_sweep(configs=((2, 2),), trials=1, seed=0)
+        report = result.to_report()
+        assert "E1" in report and "Paper claim" in report
+
+
+@pytest.mark.slow
+class TestHeavyExperiments:
+    def test_e5_unification(self):
+        assert run_unification_experiment().all_pass

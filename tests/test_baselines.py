@@ -1,0 +1,175 @@
+"""Unit tests for the baseline routers (direct single-hop and blocked specialised)."""
+
+from __future__ import annotations
+
+from math import ceil
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.patterns.families import (
+    group_cyclic_shift,
+    hypercube_exchange,
+    matrix_transpose_permutation,
+    vector_reversal,
+)
+from repro.patterns.generators import random_group_blocked_permutation
+from repro.pops.packet import Packet
+from repro.pops.simulator import POPSSimulator
+from repro.pops.topology import POPSNetwork
+from repro.routing.baselines.blocked import BlockedPermutationRouter, blocked_fair_values
+from repro.routing.baselines.direct import (
+    DirectRouter,
+    direct_slots_required,
+    group_traffic_matrix,
+)
+from repro.routing.permutation_router import theorem2_slot_bound
+from repro.utils.permutations import random_permutation
+
+
+def verify(network: POPSNetwork, schedule, pi: list[int]) -> None:
+    packets = [Packet(source=i, destination=pi[i]) for i in range(network.n)]
+    POPSSimulator(network).route_and_verify(schedule, packets)
+
+
+class TestGroupTrafficMatrix:
+    def test_identity_traffic_is_diagonal(self):
+        network = POPSNetwork(3, 2)
+        traffic = group_traffic_matrix(network, list(range(6)))
+        assert traffic == [[3, 0], [0, 3]]
+
+    def test_group_shift_traffic(self):
+        network = POPSNetwork(3, 3)
+        traffic = group_traffic_matrix(network, group_cyclic_shift(9, 3))
+        assert traffic[0][1] == 3 and traffic[1][2] == 3 and traffic[2][0] == 3
+
+    def test_row_sums_equal_d(self, small_network, rng):
+        pi = random_permutation(small_network.n, rng)
+        traffic = group_traffic_matrix(small_network, pi)
+        for row in traffic:
+            assert sum(row) == small_network.d
+
+
+class TestDirectRouter:
+    def test_slots_equal_max_pair_traffic(self, small_network, rng):
+        pi = random_permutation(small_network.n, rng)
+        router = DirectRouter(small_network)
+        assert router.slots_required(pi) == direct_slots_required(small_network, pi)
+
+    def test_identity_needs_zero_slots(self, small_network):
+        # Identity keeps every packet in place: the direct router moves nothing.
+        pi = list(range(small_network.n))
+        assert direct_slots_required(small_network, pi) == 0
+        schedule = DirectRouter(small_network).route(pi)
+        assert schedule.n_slots == 0
+        verify(small_network, schedule, pi)
+
+    def test_group_blocked_needs_d_slots(self):
+        network = POPSNetwork(8, 4)
+        pi = group_cyclic_shift(32, 8)
+        assert direct_slots_required(network, pi) == 8
+        schedule = DirectRouter(network).route(pi)
+        assert schedule.n_slots == 8
+        verify(network, schedule, pi)
+
+    def test_transpose_meets_sahni_bound(self):
+        # Matrix transpose traffic is perfectly balanced: ceil(d/g) slots.
+        for m, d, g in ((6, 6, 6), (8, 16, 4)):
+            network = POPSNetwork(d, g)
+            pi = matrix_transpose_permutation(m)
+            assert direct_slots_required(network, pi) == ceil(d / g)
+            schedule = DirectRouter(network).route(pi)
+            verify(network, schedule, pi)
+
+    def test_random_permutations_delivered(self, small_network, rng):
+        pi = random_permutation(small_network.n, rng)
+        schedule = DirectRouter(small_network).route(pi)
+        verify(small_network, schedule, pi)
+
+    def test_route_packets_subset(self):
+        network = POPSNetwork(2, 3)
+        packets = [Packet(0, 5), Packet(1, 4), Packet(2, 2)]
+        schedule = DirectRouter(network).route_packets(packets)
+        POPSSimulator(network).route_and_verify(schedule, packets)
+
+    def test_route_packets_empty(self):
+        network = POPSNetwork(2, 3)
+        schedule = DirectRouter(network).route_packets([])
+        assert schedule.n_slots == 0
+
+    def test_direct_never_beats_single_hop_optimum(self, small_network, rng):
+        # The schedule length equals the max pair traffic, which is a lower
+        # bound for any single-hop strategy; check consistency.
+        pi = random_permutation(small_network.n, rng)
+        schedule = DirectRouter(small_network).route(pi)
+        assert schedule.n_slots == direct_slots_required(small_network, pi)
+
+
+class TestBlockedRouter:
+    def test_fair_values_formula_range(self):
+        network = POPSNetwork(3, 4)
+        for h in range(4):
+            values = {blocked_fair_values(network, h, i) for i in range(3)}
+            assert len(values) == 3
+            assert all(0 <= v < 4 for v in values)
+
+    def test_can_route_predicate(self, rng):
+        network = POPSNetwork(4, 3)
+        router = BlockedPermutationRouter(network)
+        assert router.can_route(random_group_blocked_permutation(network, rng))
+        pi = list(range(12))
+        pi[0], pi[4] = pi[4], pi[0]
+        assert not router.can_route(pi)
+
+    def test_rejects_unblocked_permutation(self):
+        network = POPSNetwork(4, 3)
+        pi = list(range(12))
+        pi[0], pi[4] = pi[4], pi[0]
+        with pytest.raises(RoutingError):
+            BlockedPermutationRouter(network).route(pi)
+
+    def test_slots_required(self):
+        assert BlockedPermutationRouter(POPSNetwork(1, 4)).slots_required() == 1
+        assert BlockedPermutationRouter(POPSNetwork(4, 4)).slots_required() == 2
+        assert BlockedPermutationRouter(POPSNetwork(9, 4)).slots_required() == 6
+
+    @pytest.mark.parametrize("d,g", [(2, 4), (4, 4), (8, 4), (9, 3), (5, 5), (6, 2)])
+    def test_routes_random_blocked_permutations(self, d, g, rng):
+        network = POPSNetwork(d, g)
+        router = BlockedPermutationRouter(network)
+        pi = random_group_blocked_permutation(network, rng)
+        schedule = router.route(pi)
+        assert schedule.n_slots == theorem2_slot_bound(d, g)
+        verify(network, schedule, pi)
+
+    def test_vector_reversal_even_n(self):
+        network = POPSNetwork(8, 4)
+        schedule = BlockedPermutationRouter(network).route(vector_reversal(32))
+        assert schedule.n_slots == 4
+        verify(network, schedule, vector_reversal(32))
+
+    def test_hypercube_exchange_high_bit(self):
+        # Flipping a bit above log2(d) is a group-blocked permutation.
+        network = POPSNetwork(4, 8)
+        pi = hypercube_exchange(32, 4)
+        router = BlockedPermutationRouter(network)
+        assert router.can_route(pi)
+        schedule = router.route(pi)
+        assert schedule.n_slots == 2
+        verify(network, schedule, pi)
+
+    def test_d1_direct_case(self):
+        network = POPSNetwork(1, 4)
+        pi = [3, 0, 1, 2]
+        schedule = BlockedPermutationRouter(network).route(pi)
+        assert schedule.n_slots == 1
+        verify(network, schedule, pi)
+
+    def test_within_group_permutation(self, rng):
+        from repro.patterns.generators import random_within_group_permutation
+
+        network = POPSNetwork(6, 3)
+        pi = random_within_group_permutation(network, rng)
+        schedule = BlockedPermutationRouter(network).route(pi)
+        assert schedule.n_slots == 4
+        verify(network, schedule, pi)

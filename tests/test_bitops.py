@@ -1,0 +1,94 @@
+"""Unit and property-based tests for repro.utils.bitops."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.utils.bitops import (
+    bit_length_exact,
+    flip_bit,
+    get_bit,
+    gray_code,
+    gray_to_binary,
+    is_power_of_two,
+    reverse_bits,
+    set_bit,
+)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 8, 1024, 2**20])
+    def test_powers_detected(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 12, 2**20 + 1])
+    def test_non_powers_rejected(self, value):
+        assert not is_power_of_two(value)
+
+    def test_bit_length_exact(self):
+        assert bit_length_exact(1) == 0
+        assert bit_length_exact(8) == 3
+
+    def test_bit_length_exact_rejects_non_power(self):
+        with pytest.raises(ValidationError):
+            bit_length_exact(6)
+
+
+class TestBitAccess:
+    def test_get_bit(self):
+        assert get_bit(0b1010, 1) == 1
+        assert get_bit(0b1010, 0) == 0
+
+    def test_set_bit_on(self):
+        assert set_bit(0b1000, 0, 1) == 0b1001
+
+    def test_set_bit_off(self):
+        assert set_bit(0b1001, 0, 0) == 0b1000
+
+    def test_set_bit_rejects_bad_value(self):
+        with pytest.raises(ValidationError):
+            set_bit(0, 1, 2)
+
+    def test_flip_bit(self):
+        assert flip_bit(0b100, 2) == 0
+        assert flip_bit(0, 3) == 8
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1), st.integers(min_value=0, max_value=15))
+    @settings(max_examples=50, deadline=None)
+    def test_flip_twice_is_identity(self, value, bit):
+        assert flip_bit(flip_bit(value, bit), bit) == value
+
+
+class TestReverseBits:
+    def test_simple(self):
+        assert reverse_bits(0b001, 3) == 0b100
+
+    def test_palindrome(self):
+        assert reverse_bits(0b101, 3) == 0b101
+
+    def test_width_zero(self):
+        assert reverse_bits(0, 0) == 0
+
+    @given(st.integers(min_value=0, max_value=2**10 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_involution(self, value):
+        assert reverse_bits(reverse_bits(value, 10), 10) == value
+
+
+class TestGrayCode:
+    def test_known_values(self):
+        assert [gray_code(i) for i in range(4)] == [0, 1, 3, 2]
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, value):
+        assert gray_to_binary(gray_code(value)) == value
+
+    @given(st.integers(min_value=1, max_value=2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_adjacent_codes_differ_in_one_bit(self, value):
+        differing = gray_code(value) ^ gray_code(value - 1)
+        assert bin(differing).count("1") == 1

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_experiment(self):
+        args = build_parser().parse_args(["run", "E2"])
+        assert args.command == "run" and args.experiment == "E2"
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E99"])
+
+    def test_route_defaults(self):
+        args = build_parser().parse_args(["route", "--d", "2", "--g", "3"])
+        assert args.family == "vector_reversal"
+        assert args.backend == "konig"
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "E1" in output and "vector_reversal" in output
+
+    def test_route_command_success(self, capsys):
+        assert main(["route", "--d", "4", "--g", "4", "--family", "vector_reversal"]) == 0
+        output = capsys.readouterr().out
+        assert "slots used       : 2" in output
+
+    def test_route_command_euler_backend(self, capsys):
+        assert main(["route", "--d", "2", "--g", "4", "--backend", "euler"]) == 0
+        assert "theorem 2 bound" in capsys.readouterr().out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "E2"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 3" in output
+
+    def test_console_script_registered(self):
+        from importlib.metadata import entry_points
+
+        scripts = entry_points(group="console_scripts")
+        names = {entry.name for entry in scripts}
+        assert "pops-repro" in names

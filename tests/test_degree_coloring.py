@@ -1,0 +1,126 @@
+"""Tests for general (non-regular) bipartite edge colouring."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EdgeColoringError
+from repro.graph.degree_coloring import edge_color_bounded, embed_into_regular
+from repro.graph.multigraph import BipartiteMultigraph
+
+
+def random_bounded_graph(
+    n_left: int, n_right: int, max_degree: int, seed: int
+) -> BipartiteMultigraph:
+    """A random bipartite multigraph with both side degrees bounded by max_degree."""
+    rng = random.Random(seed)
+    graph = BipartiteMultigraph(n_left, n_right)
+    left_capacity = [max_degree] * n_left
+    right_capacity = [max_degree] * n_right
+    for _ in range(n_left * max_degree * 2):
+        left = rng.randrange(n_left)
+        right = rng.randrange(n_right)
+        if left_capacity[left] > 0 and right_capacity[right] > 0:
+            graph.add_edge(left, right)
+            left_capacity[left] -= 1
+            right_capacity[right] -= 1
+    return graph
+
+
+def assert_proper_partial_coloring(graph: BipartiteMultigraph, coloring) -> None:
+    """Every original edge coloured exactly once per copy; classes are matchings."""
+    counted: dict[tuple[int, int], int] = {}
+    for edges in coloring.classes:
+        lefts = [left for left, _ in edges]
+        rights = [right for _, right in edges]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+        for edge in edges:
+            counted[edge] = counted.get(edge, 0) + 1
+    expected = {
+        (left, right): mult for left, right, mult in graph.edges_with_multiplicity()
+    }
+    assert counted == expected
+
+
+class TestEmbedIntoRegular:
+    def test_already_regular_unchanged_degrees(self):
+        graph = BipartiteMultigraph.from_edges(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        regular, delta = embed_into_regular(graph)
+        assert delta == 2
+        assert regular.is_regular() and regular.regular_degree() == 2
+
+    def test_unbalanced_sides(self):
+        graph = BipartiteMultigraph.from_edges(2, 4, [(0, 0), (0, 1), (1, 2), (1, 3)])
+        regular, delta = embed_into_regular(graph)
+        assert delta == 2
+        assert regular.n_left == regular.n_right == 4
+        assert regular.is_regular()
+
+    def test_original_edges_preserved(self):
+        graph = random_bounded_graph(5, 3, 4, seed=1)
+        regular, _ = embed_into_regular(graph)
+        for left, right, mult in graph.edges_with_multiplicity():
+            assert regular.multiplicity(left, right) >= mult
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EdgeColoringError):
+            embed_into_regular(BipartiteMultigraph(2, 2))
+
+    def test_star_graph(self):
+        # One left vertex connected to 5 right vertices: Δ = 5.
+        graph = BipartiteMultigraph.from_edges(1, 5, [(0, r) for r in range(5)])
+        regular, delta = embed_into_regular(graph)
+        assert delta == 5
+        assert regular.n_left == 5
+        assert regular.is_regular()
+
+
+class TestEdgeColorBounded:
+    def test_star_graph_needs_delta_colors(self):
+        graph = BipartiteMultigraph.from_edges(1, 5, [(0, r) for r in range(5)])
+        coloring = edge_color_bounded(graph)
+        assert coloring.n_colors == 5
+        assert_proper_partial_coloring(graph, coloring)
+
+    def test_path_graph(self):
+        graph = BipartiteMultigraph.from_edges(2, 2, [(0, 0), (1, 0), (1, 1)])
+        coloring = edge_color_bounded(graph)
+        assert coloring.n_colors == 2
+        assert_proper_partial_coloring(graph, coloring)
+
+    def test_parallel_edges(self):
+        graph = BipartiteMultigraph.from_edges(2, 2, [(0, 0)] * 3 + [(1, 1)])
+        coloring = edge_color_bounded(graph)
+        assert coloring.n_colors == 3
+        assert_proper_partial_coloring(graph, coloring)
+
+    @pytest.mark.parametrize("backend", ["konig", "euler"])
+    def test_random_bounded_graphs(self, backend):
+        for seed in range(5):
+            graph = random_bounded_graph(6, 4, 3, seed)
+            if graph.n_edges == 0:
+                continue
+            coloring = edge_color_bounded(graph, backend=backend)
+            assert coloring.n_colors == graph.max_degree()
+            assert_proper_partial_coloring(graph, coloring)
+
+    @given(
+        n_left=st.integers(min_value=1, max_value=8),
+        n_right=st.integers(min_value=1, max_value=8),
+        max_degree=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_konig_bound(self, n_left, n_right, max_degree, seed):
+        """König: Δ colours always suffice for bipartite multigraphs."""
+        graph = random_bounded_graph(n_left, n_right, max_degree, seed)
+        if graph.n_edges == 0:
+            return
+        coloring = edge_color_bounded(graph)
+        assert coloring.n_colors == graph.max_degree()
+        assert_proper_partial_coloring(graph, coloring)

@@ -1,0 +1,137 @@
+"""Unit and property-based tests for repro.graph.edge_coloring."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EdgeColoringError
+from repro.graph.edge_coloring import (
+    COLORING_BACKENDS,
+    EdgeColoring,
+    edge_color,
+    euler_split_edge_coloring,
+    konig_edge_coloring,
+    verify_edge_coloring,
+)
+from repro.graph.multigraph import BipartiteMultigraph
+
+BACKENDS = sorted(COLORING_BACKENDS)
+
+
+def random_regular_multigraph(n: int, degree: int, seed: int) -> BipartiteMultigraph:
+    rng = random.Random(seed)
+    graph = BipartiteMultigraph(n, n)
+    for _ in range(degree):
+        permutation = list(range(n))
+        rng.shuffle(permutation)
+        for left, right in enumerate(permutation):
+            graph.add_edge(left, right)
+    return graph
+
+
+class TestKonigColoring:
+    @pytest.mark.parametrize("n,degree", [(1, 1), (2, 2), (4, 3), (6, 4), (8, 5), (5, 7)])
+    def test_produces_valid_coloring(self, n, degree):
+        graph = random_regular_multigraph(n, degree, seed=n * 100 + degree)
+        coloring = konig_edge_coloring(graph)
+        assert coloring.n_colors == degree
+        verify_edge_coloring(graph, coloring)
+
+    def test_each_class_is_perfect_matching(self):
+        graph = random_regular_multigraph(5, 3, seed=1)
+        coloring = konig_edge_coloring(graph)
+        for edges in coloring.classes:
+            assert len(edges) == 5
+            assert sorted(left for left, _ in edges) == list(range(5))
+            assert sorted(right for _, right in edges) == list(range(5))
+
+    def test_input_not_mutated(self):
+        graph = random_regular_multigraph(4, 2, seed=2)
+        before = graph.n_edges
+        konig_edge_coloring(graph)
+        assert graph.n_edges == before
+
+
+class TestEulerColoring:
+    @pytest.mark.parametrize("n,degree", [(1, 1), (2, 2), (4, 4), (4, 3), (6, 8), (6, 5), (8, 7)])
+    def test_produces_valid_coloring(self, n, degree):
+        graph = random_regular_multigraph(n, degree, seed=n * 10 + degree)
+        coloring = euler_split_edge_coloring(graph)
+        assert coloring.n_colors == degree
+        verify_edge_coloring(graph, coloring)
+
+    def test_power_of_two_degree_uses_pure_splits(self):
+        graph = random_regular_multigraph(6, 8, seed=11)
+        coloring = euler_split_edge_coloring(graph)
+        assert coloring.n_colors == 8
+        verify_edge_coloring(graph, coloring)
+
+
+class TestEdgeColorDispatch:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_agree_on_color_count(self, backend):
+        graph = random_regular_multigraph(5, 4, seed=3)
+        coloring = edge_color(graph, backend=backend)
+        assert coloring.n_colors == 4
+        verify_edge_coloring(graph, coloring)
+
+    def test_unknown_backend(self):
+        graph = random_regular_multigraph(2, 1, seed=0)
+        with pytest.raises(EdgeColoringError, match="unknown"):
+            edge_color(graph, backend="quantum")
+
+
+class TestVerifyEdgeColoring:
+    def test_detects_missing_edge(self):
+        graph = random_regular_multigraph(3, 2, seed=4)
+        coloring = konig_edge_coloring(graph)
+        broken = EdgeColoring(
+            n_colors=coloring.n_colors, classes=[coloring.classes[0][:-1], coloring.classes[1]]
+        )
+        with pytest.raises(EdgeColoringError):
+            verify_edge_coloring(graph, broken)
+
+    def test_detects_vertex_reuse_within_class(self):
+        graph = BipartiteMultigraph.from_edges(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        broken = EdgeColoring(n_colors=2, classes=[[(0, 0), (0, 1)], [(1, 0), (1, 1)]])
+        with pytest.raises(EdgeColoringError, match="left vertex"):
+            verify_edge_coloring(graph, broken)
+
+    def test_detects_foreign_edge(self):
+        graph = BipartiteMultigraph.from_edges(2, 2, [(0, 0), (1, 1)])
+        broken = EdgeColoring(n_colors=1, classes=[[(0, 1), (1, 0)]])
+        with pytest.raises(EdgeColoringError):
+            verify_edge_coloring(graph, broken)
+
+
+class TestEdgeColoringDataclass:
+    def test_color_of_class(self):
+        coloring = EdgeColoring(n_colors=2, classes=[[(0, 1)], [(1, 0)]])
+        assert coloring.color_of_class(0) == {0: 1}
+
+    def test_as_edge_map_counts_parallel_edges(self):
+        coloring = EdgeColoring(n_colors=2, classes=[[(0, 0)], [(0, 0)]])
+        assert coloring.as_edge_map() == {(0, 0): [0, 1]}
+
+    def test_n_edges(self):
+        coloring = EdgeColoring(n_colors=2, classes=[[(0, 1)], [(1, 0), (0, 1)]])
+        assert coloring.n_edges == 3
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(BACKENDS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_regular_graphs_color_properly(self, n, degree, seed, backend):
+        graph = random_regular_multigraph(n, degree, seed)
+        coloring = edge_color(graph, backend=backend)
+        assert coloring.n_colors == degree
+        verify_edge_coloring(graph, coloring)

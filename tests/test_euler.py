@@ -1,0 +1,106 @@
+"""Unit and property-based tests for repro.graph.euler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph.euler import euler_partition, euler_split
+from repro.graph.multigraph import BipartiteMultigraph
+
+
+def random_even_regular_multigraph(n: int, half_degree: int, seed: int) -> BipartiteMultigraph:
+    """A ``2 * half_degree``-regular bipartite multigraph built from random matchings."""
+    rng = random.Random(seed)
+    graph = BipartiteMultigraph(n, n)
+    for _ in range(2 * half_degree):
+        permutation = list(range(n))
+        rng.shuffle(permutation)
+        for left, right in enumerate(permutation):
+            graph.add_edge(left, right)
+    return graph
+
+
+class TestEulerPartition:
+    def test_covers_every_edge_instance(self):
+        graph = BipartiteMultigraph.from_edges(
+            2, 2, [(0, 0), (0, 1), (1, 0), (1, 1), (0, 0), (0, 0)]
+        )
+        trails = euler_partition(graph)
+        edges = [edge for trail in trails for edge in trail]
+        assert len(edges) == graph.n_edges
+        counted: dict[tuple[int, int], int] = {}
+        for edge in edges:
+            counted[edge] = counted.get(edge, 0) + 1
+        for left, right, mult in graph.edges_with_multiplicity():
+            assert counted[(left, right)] == mult
+
+    def test_empty_graph_gives_no_trails(self):
+        graph = BipartiteMultigraph(2, 2)
+        assert euler_partition(graph) == []
+
+    def test_trails_are_walks(self):
+        graph = random_even_regular_multigraph(5, 2, seed=3)
+        for trail in euler_partition(graph):
+            # Consecutive edges share the vertex reached by the previous edge.
+            for (l1, r1), (l2, r2) in zip(trail, trail[1:]):
+                assert r1 == r2 or l1 == l2 or r1 == r2 or l2 == l1
+                # Walk alternates sides: the shared endpoint alternates between
+                # right and left vertices.
+        # The partition consumed every edge (checked by euler_partition itself).
+
+    def test_does_not_mutate_input(self):
+        graph = random_even_regular_multigraph(4, 1, seed=1)
+        before = graph.n_edges
+        euler_partition(graph)
+        assert graph.n_edges == before
+
+
+class TestEulerSplit:
+    def test_rejects_odd_degrees(self):
+        graph = BipartiteMultigraph.from_edges(2, 2, [(0, 0), (1, 1), (0, 1)])
+        with pytest.raises(GraphError):
+            euler_split(graph)
+
+    def test_halves_degrees(self):
+        graph = random_even_regular_multigraph(6, 2, seed=5)
+        first, second = euler_split(graph)
+        for left in range(6):
+            assert first.left_degree(left) == 2
+            assert second.left_degree(left) == 2
+        for right in range(6):
+            assert first.right_degree(right) == 2
+            assert second.right_degree(right) == 2
+
+    def test_edges_partitioned_exactly(self):
+        graph = random_even_regular_multigraph(5, 3, seed=9)
+        first, second = euler_split(graph)
+        for left in range(5):
+            for right in range(5):
+                assert (
+                    first.multiplicity(left, right) + second.multiplicity(left, right)
+                    == graph.multiplicity(left, right)
+                )
+
+    def test_parallel_edge_cycle(self):
+        graph = BipartiteMultigraph.from_edges(1, 1, [(0, 0), (0, 0)])
+        first, second = euler_split(graph)
+        assert first.n_edges == 1
+        assert second.n_edges == 1
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_split_is_balanced(self, n, half_degree, seed):
+        graph = random_even_regular_multigraph(n, half_degree, seed)
+        first, second = euler_split(graph)
+        assert first.n_edges == second.n_edges == graph.n_edges // 2
+        assert first.is_regular() and first.regular_degree() == half_degree
+        assert second.is_regular() and second.regular_degree() == half_degree

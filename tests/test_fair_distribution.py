@@ -1,0 +1,157 @@
+"""Unit and property-based tests for repro.routing.fair_distribution (Theorem 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FairnessViolationError, ImproperListSystemError
+from repro.patterns.families import figure3_permutation
+from repro.routing.fair_distribution import (
+    FairDistribution,
+    FairDistributionSolver,
+    verify_fair_distribution,
+)
+from repro.routing.list_system import ListSystem
+from repro.utils.permutations import random_permutation
+
+BACKENDS = ["konig", "euler"]
+
+
+class TestSolverBasics:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_figure3_example(self, backend):
+        system = ListSystem.from_permutation(figure3_permutation(), 3, 3)
+        distribution = FairDistributionSolver(backend=backend).solve(system)
+        distribution.verify()
+
+    def test_rejects_improper_system(self):
+        system = ListSystem.from_lists(2, 2, [[0, 0], [0, 1]])
+        with pytest.raises(ImproperListSystemError):
+            FairDistributionSolver().solve(system)
+
+    def test_verify_flag_skips_checks_but_still_fair(self):
+        system = ListSystem.from_permutation(figure3_permutation(), 3, 3)
+        distribution = FairDistributionSolver(verify=False).solve(system)
+        # Even without internal verification the result must be fair.
+        verify_fair_distribution(system, distribution.assignment)
+
+    def test_callable_interface(self):
+        system = ListSystem.from_permutation(figure3_permutation(), 3, 3)
+        distribution = FairDistributionSolver().solve(system)
+        assert distribution(0, 0) == distribution.assignment[0][0]
+
+    def test_targets_of_source_and_pairs_of_target_consistent(self):
+        system = ListSystem.from_permutation(figure3_permutation(), 3, 3)
+        distribution = FairDistributionSolver().solve(system)
+        for source in range(system.n_sources):
+            for index, target in enumerate(distribution.targets_of_source(source)):
+                assert (source, index) in distribution.pairs_of_target(target)
+
+
+class TestFairnessConditions:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("d,g", [(2, 4), (4, 4), (3, 3), (8, 4), (9, 3), (7, 5), (5, 7), (6, 1)])
+    def test_random_permutations_give_fair_distributions(self, d, g, backend, rng):
+        for _ in range(3):
+            pi = random_permutation(d * g, rng)
+            system = ListSystem.from_permutation(pi, d, g)
+            distribution = FairDistributionSolver(backend=backend).solve(system)
+            # verify() checks conditions (1)-(3) of the definition.
+            distribution.verify()
+
+    def test_condition1_every_source_gets_distinct_targets(self, rng):
+        system = ListSystem.from_permutation(random_permutation(16, rng), 4, 4)
+        distribution = FairDistributionSolver().solve(system)
+        for source in range(4):
+            targets = distribution.targets_of_source(source)
+            assert len(set(targets)) == system.delta1
+
+    def test_condition2_every_target_gets_delta2_pairs(self, rng):
+        system = ListSystem.from_permutation(random_permutation(16, rng), 4, 4)
+        distribution = FairDistributionSolver().solve(system)
+        for target in range(system.n_targets):
+            assert len(distribution.pairs_of_target(target)) == system.delta2
+
+    def test_condition3_same_list_value_distinct_targets(self, rng):
+        system = ListSystem.from_permutation(random_permutation(24, rng), 8, 3)
+        distribution = FairDistributionSolver().solve(system)
+        seen: dict[int, set[int]] = {}
+        for source in range(system.n_sources):
+            for index in range(system.delta1):
+                value = system.lists[source][index]
+                target = distribution(source, index)
+                assert target not in seen.setdefault(value, set())
+                seen[value].add(target)
+
+
+class TestVerifyFairDistribution:
+    def _system(self) -> ListSystem:
+        return ListSystem.from_lists(2, 2, [[0, 1], [1, 0]])
+
+    def test_accepts_valid_assignment(self):
+        # Lists are [[0, 1], [1, 0]]: the two occurrences of value 0 are at
+        # (0,0) and (1,1); assigning them targets 0 and 1 keeps condition 3.
+        verify_fair_distribution(self._system(), [[0, 1], [0, 1]])
+
+    def test_rejects_wrong_row_count(self):
+        with pytest.raises(FairnessViolationError):
+            verify_fair_distribution(self._system(), [[0, 1]])
+
+    def test_rejects_wrong_row_length(self):
+        with pytest.raises(FairnessViolationError):
+            verify_fair_distribution(self._system(), [[0], [1]])
+
+    def test_rejects_repeated_target_per_source(self):
+        with pytest.raises(FairnessViolationError, match="reuses"):
+            verify_fair_distribution(self._system(), [[0, 0], [1, 1]])
+
+    def test_rejects_unbalanced_targets(self):
+        # With n2 = 4 targets and Δ2 = 1, every target must be used exactly once;
+        # the assignment below uses target 1 twice and target 3 never.
+        system = ListSystem.from_lists(2, 4, [[0, 1], [1, 0]])
+        with pytest.raises(FairnessViolationError, match="assigned"):
+            verify_fair_distribution(system, [[0, 1], [2, 1]])
+
+    def test_accepts_alternative_fair_assignment(self):
+        # Fairness does not pin down a unique assignment; this hand-written one
+        # also satisfies all three conditions for the 2x2 system.
+        verify_fair_distribution(self._system(), [[1, 0], [1, 0]])
+
+    def test_rejects_swapped_assignment_violating_condition3(self):
+        # The "natural" diagonal assignment reuses target 0 for both copies of
+        # list value 0, breaking condition 3.
+        with pytest.raises(FairnessViolationError, match="list value"):
+            verify_fair_distribution(self._system(), [[0, 1], [1, 0]])
+
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(FairnessViolationError, match="outside"):
+            verify_fair_distribution(self._system(), [[0, 2], [1, 0]])
+
+    def test_rejects_condition3_violation(self):
+        # Both occurrences of list value 0 get target 0.
+        system = ListSystem.from_lists(2, 2, [[0, 1], [0, 1]])
+        with pytest.raises(FairnessViolationError, match="list value"):
+            verify_fair_distribution(system, [[0, 1], [0, 1]])
+
+
+class TestPropertyBased:
+    @given(
+        d=st.integers(min_value=2, max_value=6),
+        g=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+        backend=st.sampled_from(BACKENDS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_theorem1_holds_for_random_permutations(self, d, g, seed, backend):
+        """Theorem 1: every proper list system (here: from a permutation) admits a
+        fair distribution, and the solver finds one."""
+        pi = random_permutation(d * g, random.Random(seed))
+        system = ListSystem.from_permutation(pi, d, g)
+        assert system.is_proper()
+        distribution = FairDistributionSolver(backend=backend).solve(system)
+        distribution.verify()
+        assert isinstance(distribution, FairDistribution)

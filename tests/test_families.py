@@ -1,0 +1,206 @@
+"""Unit tests for repro.patterns.families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pops.topology import POPSNetwork
+from repro.routing.lower_bounds import is_group_blocked
+from repro.utils.permutations import compose, invert, is_permutation
+from repro.patterns.families import (
+    NAMED_FAMILIES,
+    all_hypercube_exchanges,
+    bit_reversal_permutation,
+    bpc_permutation,
+    cyclic_shift,
+    family_by_name,
+    figure3_permutation,
+    group_cyclic_shift,
+    hypercube_exchange,
+    inverse_perfect_shuffle,
+    matrix_transpose_permutation,
+    mesh_column_shift,
+    mesh_row_shift,
+    perfect_shuffle,
+    vector_reversal,
+)
+
+
+class TestFigure3:
+    def test_is_permutation_of_nine(self):
+        pi = figure3_permutation()
+        assert len(pi) == 9
+        assert is_permutation(pi)
+
+    def test_paper_conflict_pair(self):
+        # Processors 4 and 5 (group 1) both target group 0 — the paper's example.
+        pi = figure3_permutation()
+        assert pi[4] // 3 == 0 and pi[5] // 3 == 0
+
+
+class TestVectorReversalAndShifts:
+    def test_vector_reversal_values(self):
+        assert vector_reversal(5) == [4, 3, 2, 1, 0]
+
+    def test_vector_reversal_is_involution(self):
+        pi = vector_reversal(10)
+        assert compose(pi, pi) == list(range(10))
+
+    def test_cyclic_shift(self):
+        assert cyclic_shift(4, 1) == [1, 2, 3, 0]
+        assert cyclic_shift(4, -1) == [3, 0, 1, 2]
+
+    def test_group_cyclic_shift_preserves_local_index(self):
+        pi = group_cyclic_shift(12, 3, group_offset=1)
+        assert is_permutation(pi)
+        for i in range(12):
+            assert pi[i] % 3 == i % 3
+            assert pi[i] // 3 == (i // 3 + 1) % 4
+
+    def test_group_cyclic_shift_requires_divisibility(self):
+        with pytest.raises(ValidationError):
+            group_cyclic_shift(10, 3)
+
+
+class TestTranspose:
+    def test_square_transpose(self):
+        pi = matrix_transpose_permutation(3)
+        # Element (0,1) at processor 1 goes to processor 3.
+        assert pi[1] == 3
+        assert is_permutation(pi)
+
+    def test_transpose_is_involution_for_square(self):
+        pi = matrix_transpose_permutation(4)
+        assert compose(pi, pi) == list(range(16))
+
+    def test_rectangular_transpose(self):
+        pi = matrix_transpose_permutation(2, 3)
+        assert is_permutation(pi)
+        # (r, c) at r*3+c goes to c*2+r.
+        assert pi[0 * 3 + 2] == 2 * 2 + 0
+
+
+class TestShuffleAndBitReversal:
+    def test_perfect_shuffle_small(self):
+        assert perfect_shuffle(8) == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_inverse_perfect_shuffle_inverts(self):
+        n = 16
+        assert compose(perfect_shuffle(n), inverse_perfect_shuffle(n)) == list(range(n))
+
+    def test_perfect_shuffle_requires_power_of_two(self):
+        with pytest.raises(ValidationError):
+            perfect_shuffle(6)
+
+    def test_single_element(self):
+        assert perfect_shuffle(1) == [0]
+        assert inverse_perfect_shuffle(1) == [0]
+
+    def test_bit_reversal_small(self):
+        assert bit_reversal_permutation(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_bit_reversal_is_involution(self):
+        pi = bit_reversal_permutation(32)
+        assert compose(pi, pi) == list(range(32))
+
+
+class TestBPC:
+    def test_identity_bpc(self):
+        n = 16
+        assert bpc_permutation(n, list(range(4))) == list(range(n))
+
+    def test_complement_only_is_xor(self):
+        n = 8
+        assert bpc_permutation(n, [0, 1, 2], complement_mask=0b101) == [
+            i ^ 0b101 for i in range(n)
+        ]
+
+    def test_vector_reversal_as_bpc(self):
+        n = 16
+        assert bpc_permutation(n, list(range(4)), complement_mask=n - 1) == vector_reversal(n)
+
+    def test_perfect_shuffle_as_bpc(self):
+        # Destination bit j takes source bit (j - 1) mod k: a bit rotation.
+        n = 16
+        order = [3, 0, 1, 2]
+        assert bpc_permutation(n, order) == perfect_shuffle(n)
+
+    def test_rejects_bad_bit_order(self):
+        with pytest.raises(ValidationError):
+            bpc_permutation(8, [0, 1, 1])
+
+    def test_rejects_bad_mask(self):
+        with pytest.raises(ValidationError):
+            bpc_permutation(8, [0, 1, 2], complement_mask=8)
+
+    def test_always_a_permutation(self):
+        assert is_permutation(bpc_permutation(32, [4, 2, 0, 3, 1], complement_mask=9))
+
+
+class TestHypercube:
+    def test_exchange_is_xor(self):
+        assert hypercube_exchange(8, 1) == [i ^ 2 for i in range(8)]
+
+    def test_exchange_is_involution(self):
+        pi = hypercube_exchange(16, 3)
+        assert compose(pi, pi) == list(range(16))
+
+    def test_all_exchanges_count(self):
+        assert len(all_hypercube_exchanges(32)) == 5
+
+    def test_exchange_bit_out_of_range(self):
+        with pytest.raises(ValidationError):
+            hypercube_exchange(8, 3)
+
+    def test_high_bit_exchange_is_group_blocked(self):
+        network = POPSNetwork(4, 8)
+        assert is_group_blocked(network, hypercube_exchange(32, 2))
+        assert is_group_blocked(network, hypercube_exchange(32, 4))
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValidationError):
+            hypercube_exchange(12, 1)
+
+
+class TestMeshShifts:
+    def test_row_shift_moves_columns(self):
+        side = 3
+        pi = mesh_row_shift(side, 1)
+        # Cell (r, c) at r + c*side moves to r + ((c+1) % side) * side.
+        assert pi[0] == 0 + 1 * side
+        assert is_permutation(pi)
+
+    def test_column_shift_moves_rows(self):
+        side = 3
+        pi = mesh_column_shift(side, 1)
+        assert pi[0] == 1
+        assert is_permutation(pi)
+
+    def test_opposite_shifts_invert(self):
+        side = 4
+        assert compose(mesh_row_shift(side, 1), mesh_row_shift(side, -1)) == list(
+            range(16)
+        )
+        assert mesh_column_shift(side, -1) == invert(mesh_column_shift(side, 1))
+
+    def test_shifts_are_group_blocked_when_d_divides_side(self):
+        # N = 6, d = 6: each column is one group, so a column shift stays in
+        # the group and a row shift maps whole groups to whole groups.
+        network = POPSNetwork(6, 6)
+        assert is_group_blocked(network, mesh_row_shift(6, 1))
+        assert is_group_blocked(network, mesh_column_shift(6, 1))
+
+
+class TestRegistry:
+    def test_named_families_produce_permutations(self):
+        for name in NAMED_FAMILIES:
+            n = 16
+            assert is_permutation(family_by_name(name, n)), name
+
+    def test_unknown_family(self):
+        with pytest.raises(ValidationError):
+            family_by_name("nonexistent", 8)
+
+    def test_identity_family(self):
+        assert family_by_name("identity", 5) == [0, 1, 2, 3, 4]

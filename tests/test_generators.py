@@ -1,0 +1,111 @@
+"""Unit tests for repro.patterns.generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pops.topology import POPSNetwork
+from repro.routing.lower_bounds import is_group_blocked, is_group_moving
+from repro.utils.permutations import is_derangement, is_permutation
+from repro.patterns.generators import (
+    PermutationGenerator,
+    random_derangement_workload,
+    random_group_blocked_permutation,
+    random_group_moving_blocked_permutation,
+    random_partial_permutation,
+    random_permutation_workload,
+    random_within_group_permutation,
+)
+
+
+class TestWorkloadIterators:
+    def test_uniform_workload_count_and_validity(self):
+        workloads = list(random_permutation_workload(10, 5, rng=1))
+        assert len(workloads) == 5
+        assert all(is_permutation(pi) for pi in workloads)
+
+    def test_uniform_workload_deterministic(self):
+        assert list(random_permutation_workload(8, 3, rng=9)) == list(
+            random_permutation_workload(8, 3, rng=9)
+        )
+
+    def test_derangement_workload(self):
+        for pi in random_derangement_workload(9, 4, rng=2):
+            assert is_derangement(pi)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValidationError):
+            list(random_permutation_workload(5, 0))
+
+
+class TestStructuredGenerators:
+    def test_group_blocked(self, rng):
+        network = POPSNetwork(4, 3)
+        pi = random_group_blocked_permutation(network, rng)
+        assert is_permutation(pi)
+        assert is_group_blocked(network, pi)
+
+    def test_group_moving_blocked(self, rng):
+        network = POPSNetwork(4, 3)
+        pi = random_group_moving_blocked_permutation(network, rng)
+        assert is_group_blocked(network, pi)
+        assert is_group_moving(network, pi)
+        assert is_derangement(pi)
+
+    def test_group_moving_requires_two_groups(self, rng):
+        network = POPSNetwork(4, 1)
+        with pytest.raises(ValidationError):
+            random_group_moving_blocked_permutation(network, rng)
+
+    def test_within_group(self, rng):
+        network = POPSNetwork(4, 3)
+        pi = random_within_group_permutation(network, rng)
+        assert is_group_blocked(network, pi)
+        assert not is_group_moving(network, pi)
+        for i in range(network.n):
+            assert pi[i] // 4 == i // 4
+
+    def test_partial_permutation_density_bounds(self, rng):
+        mapping = random_partial_permutation(50, 0.5, rng)
+        assert len(set(mapping.values())) == len(mapping)
+        assert all(0 <= dest < 50 for dest in mapping.values())
+
+    def test_partial_permutation_density_extremes(self, rng):
+        assert random_partial_permutation(20, 0.0, rng) == {}
+        full = random_partial_permutation(20, 1.0, rng)
+        assert sorted(full.keys()) == list(range(20))
+
+    def test_partial_permutation_rejects_bad_density(self, rng):
+        with pytest.raises(ValidationError):
+            random_partial_permutation(10, 1.5, rng)
+
+
+class TestPermutationGeneratorFacade:
+    def test_batch_kinds(self):
+        network = POPSNetwork(4, 4)
+        generator = PermutationGenerator(network, rng=5)
+        for kind in ("uniform", "derangement", "group_blocked", "group_moving_blocked", "within_group"):
+            batch = generator.batch(kind, 2)
+            assert len(batch) == 2
+            assert all(is_permutation(pi) for pi in batch)
+
+    def test_batch_unknown_kind(self):
+        generator = PermutationGenerator(POPSNetwork(2, 2), rng=0)
+        with pytest.raises(ValidationError):
+            generator.batch("sorted", 1)
+
+    def test_deterministic_given_seed(self):
+        network = POPSNetwork(3, 3)
+        a = PermutationGenerator(network, rng=11).batch("uniform", 3)
+        b = PermutationGenerator(network, rng=11).batch("uniform", 3)
+        assert a == b
+
+    def test_individual_methods(self):
+        network = POPSNetwork(4, 2)
+        generator = PermutationGenerator(network, rng=3)
+        assert is_permutation(generator.uniform())
+        assert is_derangement(generator.derangement())
+        assert is_group_blocked(network, generator.group_blocked())
+        assert is_group_moving(network, generator.group_moving_blocked())
+        assert is_group_blocked(network, generator.within_group())

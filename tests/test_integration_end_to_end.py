@@ -1,0 +1,121 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests mirror how a downstream user would drive the library: build a
+network, route a workload, execute it on the simulator, and inspect the
+metrics — without reaching into any internal module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BlockedPermutationRouter,
+    DirectRouter,
+    POPSNetwork,
+    POPSSimulator,
+    PermutationRouter,
+    theorem2_slot_bound,
+)
+from repro.analysis.metrics import measure_routing
+from repro.patterns.families import (
+    all_hypercube_exchanges,
+    bit_reversal_permutation,
+    matrix_transpose_permutation,
+    mesh_column_shift,
+    mesh_row_shift,
+    perfect_shuffle,
+    vector_reversal,
+)
+from repro.patterns.generators import PermutationGenerator
+from repro.routing.lower_bounds import best_known_lower_bound
+from repro.utils.permutations import compose, random_permutation
+
+
+class TestPublicApiWorkflow:
+    def test_quickstart_sequence(self):
+        """The README quickstart, as a test."""
+        network = POPSNetwork(d=8, g=4)
+        router = PermutationRouter(network)
+        plan = router.route(vector_reversal(network.n))
+        assert plan.n_slots == 4
+        result = POPSSimulator(network).route_and_verify(plan.schedule, plan.packets)
+        assert result.n_slots == 4
+
+    def test_all_named_families_on_power_of_two_network(self):
+        network = POPSNetwork(4, 8)
+        n = network.n
+        families = {
+            "vector reversal": vector_reversal(n),
+            "perfect shuffle": perfect_shuffle(n),
+            "bit reversal": bit_reversal_permutation(n),
+        }
+        for name, pi in families.items():
+            metrics = measure_routing(network, pi)
+            assert metrics.meets_theorem2_bound, name
+
+    def test_hypercube_steps_all_dimensions(self):
+        network = POPSNetwork(8, 4)
+        for pi in all_hypercube_exchanges(network.n):
+            assert measure_routing(network, pi).slots == 4
+
+    def test_mesh_steps_both_axes(self):
+        network = POPSNetwork(6, 6)
+        for pi in (mesh_row_shift(6), mesh_row_shift(6, -1), mesh_column_shift(6), mesh_column_shift(6, -1)):
+            assert measure_routing(network, pi).slots == 2
+
+    def test_transpose_router_vs_direct(self):
+        network = POPSNetwork(16, 4)
+        pi = matrix_transpose_permutation(8)
+        universal = measure_routing(network, pi).slots
+        direct = DirectRouter(network).slots_required(pi)
+        assert universal == 8      # 2 * ceil(16/4)
+        assert direct == 4         # ceil(16/4): Sahni's optimal transpose
+
+    def test_composed_permutations_still_route(self, rng):
+        network = POPSNetwork(4, 8)
+        pi = compose(perfect_shuffle(32), vector_reversal(32))
+        assert measure_routing(network, pi).meets_theorem2_bound
+
+    def test_blocked_router_and_universal_router_agree_on_slots(self, rng):
+        network = POPSNetwork(6, 3)
+        generator = PermutationGenerator(network, rng)
+        pi = generator.group_blocked()
+        universal = PermutationRouter(network).route(pi).n_slots
+        blocked = BlockedPermutationRouter(network).route(pi).n_slots
+        assert universal == blocked == theorem2_slot_bound(6, 3)
+
+
+class TestWorkloadSweep:
+    @pytest.mark.parametrize("kind", ["uniform", "derangement", "group_blocked", "within_group"])
+    def test_every_workload_kind_routes_at_bound(self, network, kind, rng):
+        if kind == "derangement" and network.n == 1:
+            pytest.skip("no derangement on a single processor")
+        generator = PermutationGenerator(network, rng)
+        for pi in generator.batch(kind, 2):
+            metrics = measure_routing(network, pi)
+            assert metrics.meets_theorem2_bound
+            assert metrics.slots >= best_known_lower_bound(network, pi)
+
+    def test_group_moving_needs_multiple_groups(self, rng):
+        network = POPSNetwork(4, 4)
+        generator = PermutationGenerator(network, rng)
+        for pi in generator.batch("group_moving_blocked", 2):
+            metrics = measure_routing(network, pi)
+            # Theorem 2 is exactly optimal on this class (Proposition 2).
+            assert metrics.slots == metrics.lower_bound
+
+
+class TestScaleSmoke:
+    @pytest.mark.slow
+    def test_moderately_large_network(self, rng):
+        network = POPSNetwork(32, 16)
+        pi = random_permutation(network.n, rng)
+        metrics = measure_routing(network, pi)
+        assert metrics.slots == 4
+
+    @pytest.mark.slow
+    def test_large_single_round_network(self, rng):
+        network = POPSNetwork(16, 32)
+        pi = random_permutation(network.n, rng)
+        assert measure_routing(network, pi).slots == 2

@@ -1,0 +1,116 @@
+"""Unit tests for repro.routing.list_system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ImproperListSystemError, ValidationError
+from repro.patterns.families import figure3_permutation, vector_reversal
+from repro.routing.list_system import ListSystem
+from repro.utils.permutations import random_permutation
+
+
+class TestFromLists:
+    def test_basic_construction(self):
+        system = ListSystem.from_lists(2, 2, [[0, 1], [1, 0]])
+        assert system.n_sources == 2
+        assert system.n_targets == 2
+        assert system.delta1 == 2
+        assert system.delta2 == 2
+
+    def test_rejects_wrong_number_of_lists(self):
+        with pytest.raises(ValidationError):
+            ListSystem.from_lists(3, 3, [[0], [1]])
+
+    def test_rejects_ragged_lists(self):
+        with pytest.raises(ValidationError):
+            ListSystem.from_lists(2, 2, [[0, 1], [0]])
+
+    def test_rejects_empty_lists(self):
+        with pytest.raises(ValidationError):
+            ListSystem.from_lists(2, 2, [[], []])
+
+    def test_rejects_list_longer_than_targets(self):
+        with pytest.raises(ValidationError):
+            ListSystem.from_lists(3, 2, [[0, 1, 2]] * 3)
+
+    def test_rejects_out_of_range_entries(self):
+        with pytest.raises(ValidationError):
+            ListSystem.from_lists(2, 2, [[0, 2], [1, 0]])
+
+    def test_multiplicity_and_occurrence(self):
+        system = ListSystem.from_lists(2, 2, [[0, 0], [1, 1]])
+        assert system.multiplicity(0, 0) == 2
+        assert system.multiplicity(0, 1) == 0
+        assert system.occurrence_count(0) == 2
+
+
+class TestProperness:
+    def test_proper_system(self):
+        system = ListSystem.from_lists(2, 2, [[0, 1], [1, 0]])
+        assert system.is_proper()
+        system.check_proper()
+
+    def test_improper_when_element_over_represented(self):
+        system = ListSystem.from_lists(2, 2, [[0, 0], [0, 1]])
+        assert not system.is_proper()
+        with pytest.raises(ImproperListSystemError):
+            system.check_proper()
+
+    def test_improper_when_divisibility_fails(self):
+        # n1 * delta1 = 3 * 2 = 6, n2 = 4 does not divide it.
+        system = ListSystem.from_lists(3, 4, [[0, 1], [1, 2], [2, 0]])
+        assert not system.is_proper()
+        with pytest.raises(ImproperListSystemError, match="divide"):
+            system.check_proper()
+
+
+class TestFromPermutation:
+    def test_figure3_lists(self):
+        system = ListSystem.from_permutation(figure3_permutation(), 3, 3)
+        # Group 0 holds packets for processors 4, 8, 3 -> groups 1, 2, 1.
+        assert list(system.lists[0]) == [1, 2, 1]
+        assert list(system.lists[1]) == [2, 0, 0]
+        assert list(system.lists[2]) == [2, 0, 1]
+        assert system.is_proper()
+
+    def test_target_set_choice(self):
+        assert ListSystem.from_permutation(list(range(8)), 2, 4).n_targets == 4
+        assert ListSystem.from_permutation(list(range(8)), 4, 2).n_targets == 4
+
+    def test_always_proper_for_permutations(self, rng):
+        for d, g in [(2, 4), (4, 4), (6, 3), (5, 7), (3, 1)]:
+            pi = random_permutation(d * g, rng)
+            assert ListSystem.from_permutation(pi, d, g).is_proper()
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValidationError):
+            ListSystem.from_permutation([0, 0, 1, 2], 2, 2)
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValidationError):
+            ListSystem.from_permutation(list(range(6)), 2, 2)
+
+    def test_vector_reversal_lists_are_blocked(self):
+        system = ListSystem.from_permutation(vector_reversal(12), 3, 4)
+        # Every list holds a single repeated destination group.
+        for row in system.lists:
+            assert len(set(row)) == 1
+
+
+class TestMultigraphView:
+    def test_graph_degrees_match_delta1(self):
+        system = ListSystem.from_permutation(figure3_permutation(), 3, 3)
+        graph = system.to_multigraph()
+        assert graph.left_degrees() == [3, 3, 3]
+        assert graph.right_degrees() == [3, 3, 3]
+
+    def test_graph_multiplicities_match_counts(self):
+        system = ListSystem.from_lists(2, 2, [[0, 0], [1, 1]])
+        graph = system.to_multigraph()
+        assert graph.multiplicity(0, 0) == 2
+        assert graph.multiplicity(1, 1) == 2
+
+    def test_repr(self):
+        system = ListSystem.from_lists(2, 2, [[0, 1], [1, 0]])
+        assert "n1=2" in repr(system)

@@ -1,0 +1,111 @@
+"""Unit and property-based tests for repro.graph.matching."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NotRegularError
+from repro.graph.matching import (
+    hopcroft_karp,
+    maximum_matching,
+    perfect_matching_regular,
+)
+from repro.graph.multigraph import BipartiteMultigraph
+
+
+def random_regular_multigraph(n: int, degree: int, rng: random.Random) -> BipartiteMultigraph:
+    """Build a random ``degree``-regular bipartite multigraph on ``n + n`` vertices
+    as a union of ``degree`` random perfect matchings."""
+    graph = BipartiteMultigraph(n, n)
+    for _ in range(degree):
+        permutation = list(range(n))
+        rng.shuffle(permutation)
+        for left, right in enumerate(permutation):
+            graph.add_edge(left, right)
+    return graph
+
+
+def assert_valid_matching(adjacency, matching: dict[int, int]) -> None:
+    rights = list(matching.values())
+    assert len(rights) == len(set(rights)), "a right vertex is matched twice"
+    for left, right in matching.items():
+        assert right in adjacency[left], "matched edge not present in graph"
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching_on_complete_graph(self):
+        adjacency = [[0, 1, 2], [0, 1, 2], [0, 1, 2]]
+        matching = hopcroft_karp(adjacency, 3)
+        assert len(matching) == 3
+        assert_valid_matching(adjacency, matching)
+
+    def test_maximum_but_not_perfect(self):
+        # Two left vertices compete for the single right vertex 0.
+        adjacency = [[0], [0], [1]]
+        matching = hopcroft_karp(adjacency, 2)
+        assert len(matching) == 2
+
+    def test_empty_graph(self):
+        assert hopcroft_karp([[], []], 3) == {}
+
+    def test_isolated_right_vertices(self):
+        adjacency = [[2], [2]]
+        matching = hopcroft_karp(adjacency, 3)
+        assert len(matching) == 1
+
+    def test_path_graph(self):
+        adjacency = [[0], [0, 1], [1]]
+        matching = hopcroft_karp(adjacency, 2)
+        assert len(matching) == 2
+        assert_valid_matching(adjacency, matching)
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_regular_graphs_have_perfect_matchings(self, n, degree, seed):
+        graph = random_regular_multigraph(n, degree, random.Random(seed))
+        matching = hopcroft_karp(graph.adjacency(), n)
+        assert len(matching) == n
+        assert_valid_matching(graph.adjacency(), matching)
+
+
+class TestMaximumMatching:
+    def test_on_multigraph_ignores_multiplicity(self):
+        graph = BipartiteMultigraph.from_edges(2, 2, [(0, 0), (0, 0), (1, 1)])
+        matching = maximum_matching(graph)
+        assert matching == {0: 0, 1: 1}
+
+
+class TestPerfectMatchingRegular:
+    def test_requires_equal_sides(self):
+        graph = BipartiteMultigraph.from_edges(2, 4, [(0, 0), (0, 1), (1, 2), (1, 3)])
+        with pytest.raises(NotRegularError):
+            perfect_matching_regular(graph)
+
+    def test_requires_regular(self):
+        graph = BipartiteMultigraph.from_edges(2, 2, [(0, 0), (0, 1), (1, 0)])
+        with pytest.raises(NotRegularError):
+            perfect_matching_regular(graph)
+
+    def test_rejects_empty(self):
+        graph = BipartiteMultigraph(2, 2)
+        with pytest.raises(NotRegularError):
+            perfect_matching_regular(graph)
+
+    def test_parallel_edges_only(self):
+        graph = BipartiteMultigraph.from_edges(1, 1, [(0, 0), (0, 0), (0, 0)])
+        assert perfect_matching_regular(graph) == {0: 0}
+
+    @pytest.mark.parametrize("n,degree", [(2, 1), (4, 3), (6, 4), (8, 2), (5, 5)])
+    def test_random_regular_graphs(self, n, degree, rng):
+        graph = random_regular_multigraph(n, degree, rng)
+        matching = perfect_matching_regular(graph)
+        assert len(matching) == n
+        assert sorted(matching.keys()) == list(range(n))
+        assert sorted(matching.values()) == list(range(n))
+        for left, right in matching.items():
+            assert graph.multiplicity(left, right) >= 1

@@ -1,0 +1,160 @@
+"""Unit tests for repro.graph.multigraph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError, NotRegularError
+from repro.graph.multigraph import BipartiteMultigraph
+
+
+@pytest.fixture
+def simple_graph() -> BipartiteMultigraph:
+    graph = BipartiteMultigraph(3, 3)
+    graph.add_edge(0, 0)
+    graph.add_edge(0, 1, multiplicity=2)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 2)
+    return graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = BipartiteMultigraph(2, 3)
+        assert graph.n_left == 2
+        assert graph.n_right == 3
+        assert graph.n_edges == 0
+
+    def test_rejects_zero_sides(self):
+        with pytest.raises(Exception):
+            BipartiteMultigraph(0, 3)
+
+    def test_from_edges_accumulates_multiplicity(self):
+        graph = BipartiteMultigraph.from_edges(2, 2, [(0, 1), (0, 1), (1, 0)])
+        assert graph.multiplicity(0, 1) == 2
+        assert graph.multiplicity(1, 0) == 1
+        assert graph.n_edges == 3
+
+    def test_copy_is_independent(self, simple_graph):
+        clone = simple_graph.copy()
+        clone.add_edge(2, 0)
+        assert simple_graph.multiplicity(2, 0) == 0
+        assert clone.multiplicity(2, 0) == 1
+
+
+class TestDegrees:
+    def test_left_degrees(self, simple_graph):
+        assert simple_graph.left_degrees() == [3, 1, 1]
+
+    def test_right_degrees(self, simple_graph):
+        assert simple_graph.right_degrees() == [1, 2, 2]
+
+    def test_single_degree_queries(self, simple_graph):
+        assert simple_graph.left_degree(0) == 3
+        assert simple_graph.right_degree(2) == 2
+
+    def test_max_degree(self, simple_graph):
+        assert simple_graph.max_degree() == 3
+
+    def test_neighbors_distinct(self, simple_graph):
+        assert sorted(simple_graph.neighbors(0)) == [0, 1]
+
+
+class TestMutation:
+    def test_add_zero_multiplicity_is_noop(self):
+        graph = BipartiteMultigraph(2, 2)
+        graph.add_edge(0, 0, multiplicity=0)
+        assert graph.n_edges == 0
+
+    def test_add_out_of_range_left(self):
+        graph = BipartiteMultigraph(2, 2)
+        with pytest.raises(GraphError):
+            graph.add_edge(2, 0)
+
+    def test_add_out_of_range_right(self):
+        graph = BipartiteMultigraph(2, 2)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 5)
+
+    def test_remove_edge(self, simple_graph):
+        simple_graph.remove_edge(0, 1)
+        assert simple_graph.multiplicity(0, 1) == 1
+        simple_graph.remove_edge(0, 1)
+        assert simple_graph.multiplicity(0, 1) == 0
+
+    def test_remove_more_than_present_raises(self, simple_graph):
+        with pytest.raises(GraphError):
+            simple_graph.remove_edge(0, 0, multiplicity=2)
+
+    def test_remove_updates_degrees_and_count(self, simple_graph):
+        before = simple_graph.n_edges
+        simple_graph.remove_edge(0, 1, multiplicity=2)
+        assert simple_graph.n_edges == before - 2
+        assert simple_graph.left_degree(0) == 1
+        assert simple_graph.right_degree(1) == 0
+
+    def test_remove_matching(self):
+        graph = BipartiteMultigraph.from_edges(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        graph.remove_matching({0: 0, 1: 1})
+        assert graph.multiplicity(0, 0) == 0
+        assert graph.multiplicity(1, 1) == 0
+        assert graph.n_edges == 2
+
+
+class TestRegularity:
+    def test_regular_graph(self):
+        graph = BipartiteMultigraph.from_edges(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        assert graph.is_regular()
+        assert graph.regular_degree() == 2
+
+    def test_irregular_graph(self, simple_graph):
+        assert not simple_graph.is_regular()
+        with pytest.raises(NotRegularError):
+            simple_graph.regular_degree()
+
+    def test_biregular(self):
+        graph = BipartiteMultigraph.from_edges(2, 4, [(0, 0), (0, 1), (1, 2), (1, 3)])
+        ok, left, right = graph.is_biregular()
+        assert ok and left == 2 and right == 1
+
+    def test_not_biregular(self, simple_graph):
+        ok, left, right = simple_graph.is_biregular()
+        assert not ok and left == -1 and right == -1
+
+
+class TestIteration:
+    def test_edges_with_multiplicity(self, simple_graph):
+        edges = dict(
+            ((left, right), mult)
+            for left, right, mult in simple_graph.edges_with_multiplicity()
+        )
+        assert edges[(0, 1)] == 2
+
+    def test_edge_instances_expand_multiplicity(self, simple_graph):
+        instances = list(simple_graph.edge_instances())
+        assert instances.count((0, 1)) == 2
+        assert len(instances) == simple_graph.n_edges
+
+    def test_adjacency(self, simple_graph):
+        adjacency = simple_graph.adjacency()
+        assert sorted(adjacency[0]) == [0, 1]
+        assert adjacency[1] == [2]
+
+    def test_adjacency_with_multiplicity(self, simple_graph):
+        adjacency = simple_graph.adjacency_with_multiplicity()
+        assert adjacency[0] == {0: 1, 1: 2}
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = BipartiteMultigraph.from_edges(2, 2, [(0, 1), (1, 0)])
+        b = BipartiteMultigraph.from_edges(2, 2, [(1, 0), (0, 1)])
+        assert a == b
+
+    def test_different_multiplicity_not_equal(self):
+        a = BipartiteMultigraph.from_edges(2, 2, [(0, 1)])
+        b = BipartiteMultigraph.from_edges(2, 2, [(0, 1), (0, 1)])
+        assert a != b
+
+    def test_repr_mentions_sizes(self, simple_graph):
+        assert "n_left=3" in repr(simple_graph)

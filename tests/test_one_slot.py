@@ -1,0 +1,96 @@
+"""Unit tests for repro.routing.one_slot (Fact 1 / Gravenstreter–Melhem)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NotRoutableInOneSlotError
+from repro.patterns.families import figure3_permutation, group_cyclic_shift
+from repro.pops.packet import Packet
+from repro.pops.simulator import POPSSimulator
+from repro.pops.topology import POPSNetwork
+from repro.routing.one_slot import OneSlotRouter, is_one_slot_routable, one_slot_schedule
+from repro.utils.permutations import random_permutation
+
+
+class TestCharacterisation:
+    def test_identity_is_one_slot_routable(self, small_network):
+        assert is_one_slot_routable(small_network, list(range(small_network.n)))
+
+    def test_d1_everything_is_routable(self, rng):
+        network = POPSNetwork(1, 6)
+        for _ in range(10):
+            assert is_one_slot_routable(network, random_permutation(6, rng))
+
+    def test_group_shift_is_routable(self):
+        network = POPSNetwork(3, 4)
+        # Shift every packet one group forward keeping the local index: each
+        # (source group, destination group) pair carries d packets, so it is
+        # NOT single-slot routable for d > 1 ...
+        assert not is_one_slot_routable(network, group_cyclic_shift(12, 3))
+
+    def test_local_rotation_is_routable(self):
+        # Send processor (h, i) to (h + i mod g, i): every group pair used once.
+        network = POPSNetwork(3, 3)
+        pi = [((h + i) % 3) * 3 + i for h in range(3) for i in range(3)]
+        assert is_one_slot_routable(network, pi)
+
+    def test_figure3_is_not_routable(self, square_network):
+        assert not is_one_slot_routable(square_network, figure3_permutation())
+
+    def test_paper_conflict_example(self):
+        # The paper: two packets of one group with the same destination group
+        # make one slot insufficient.
+        network = POPSNetwork(2, 2)
+        pi = [2, 3, 0, 1]
+        assert not is_one_slot_routable(network, pi)
+
+
+class TestOneSlotSchedule:
+    def test_schedule_for_partial_packet_set(self):
+        network = POPSNetwork(2, 3)
+        packets = [Packet(0, 5), Packet(2, 1), Packet(4, 3)]
+        schedule = one_slot_schedule(network, packets)
+        assert schedule.n_slots == 1
+        POPSSimulator(network).route_and_verify(schedule, packets)
+
+    def test_rejects_two_packets_from_same_processor(self):
+        network = POPSNetwork(2, 3)
+        with pytest.raises(NotRoutableInOneSlotError, match="send two"):
+            one_slot_schedule(network, [Packet(0, 5), Packet(0, 3)])
+
+    def test_rejects_two_packets_to_same_processor(self):
+        network = POPSNetwork(2, 3)
+        with pytest.raises(NotRoutableInOneSlotError, match="receive two"):
+            one_slot_schedule(network, [Packet(0, 5), Packet(2, 5)])
+
+    def test_rejects_coupler_collision(self):
+        network = POPSNetwork(2, 3)
+        # Both packets go from group 0 to group 2.
+        with pytest.raises(NotRoutableInOneSlotError, match="coupler"):
+            one_slot_schedule(network, [Packet(0, 4), Packet(1, 5)])
+
+
+class TestOneSlotRouter:
+    def test_routes_routable_permutation(self):
+        network = POPSNetwork(3, 3)
+        pi = [((h + i) % 3) * 3 + i for h in range(3) for i in range(3)]
+        router = OneSlotRouter(network)
+        assert router.can_route(pi)
+        schedule = router.route(pi)
+        assert schedule.n_slots == 1
+        packets = [Packet(source=i, destination=pi[i]) for i in range(9)]
+        POPSSimulator(network).route_and_verify(schedule, packets)
+
+    def test_rejects_unroutable_permutation(self, square_network):
+        router = OneSlotRouter(square_network)
+        with pytest.raises(NotRoutableInOneSlotError):
+            router.route(figure3_permutation())
+
+    def test_d1_router_handles_any_permutation(self, rng):
+        network = POPSNetwork(1, 5)
+        router = OneSlotRouter(network)
+        pi = random_permutation(5, rng)
+        schedule = router.route(pi)
+        packets = [Packet(source=i, destination=pi[i]) for i in range(5)]
+        POPSSimulator(network).route_and_verify(schedule, packets)

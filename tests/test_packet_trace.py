@@ -1,0 +1,78 @@
+"""Unit tests for repro.pops.packet and repro.pops.trace."""
+
+from __future__ import annotations
+
+from repro.pops.packet import Packet
+from repro.pops.topology import Coupler
+from repro.pops.trace import SimulationTrace, SlotTrace
+
+
+class TestPacket:
+    def test_equality_ignores_payload(self):
+        assert Packet(0, 1, payload="a") == Packet(0, 1, payload="b")
+
+    def test_inequality_on_endpoints(self):
+        assert Packet(0, 1) != Packet(0, 2)
+        assert Packet(0, 1) != Packet(1, 1)
+
+    def test_hashable_and_payload_excluded_from_hash(self):
+        assert len({Packet(0, 1, payload="a"), Packet(0, 1, payload="b")}) == 1
+
+    def test_with_payload_returns_new_packet(self):
+        original = Packet(0, 1)
+        updated = original.with_payload(42)
+        assert updated.payload == 42
+        assert original.payload is None
+        assert updated == original
+
+    def test_repr(self):
+        assert repr(Packet(3, 7)) == "Packet(3->7)"
+
+
+class TestSlotTrace:
+    def test_counts(self):
+        trace = SlotTrace(
+            slot_index=0,
+            coupler_payloads={Coupler(0, 1): Packet(2, 0), Coupler(1, 0): Packet(0, 3)},
+            deliveries=[(0, Packet(2, 0))],
+        )
+        assert trace.packets_moved == 2
+        assert trace.packets_received == 1
+
+
+class TestSimulationTrace:
+    def _trace(self) -> SimulationTrace:
+        return SimulationTrace(
+            slots=[
+                SlotTrace(0, {Coupler(0, 1): Packet(2, 0)}, [(0, Packet(2, 0))]),
+                SlotTrace(1, {Coupler(0, 1): Packet(3, 1), Coupler(1, 1): Packet(2, 2)}, []),
+            ]
+        )
+
+    def test_n_slots(self):
+        assert self._trace().n_slots == 2
+
+    def test_total_packets_moved(self):
+        assert self._trace().total_packets_moved == 3
+
+    def test_coupler_usage(self):
+        usage = self._trace().coupler_usage()
+        assert usage[Coupler(0, 1)] == 2
+        assert usage[Coupler(1, 1)] == 1
+
+    def test_max_coupler_usage(self):
+        assert self._trace().max_coupler_usage() == 2
+
+    def test_max_coupler_usage_empty(self):
+        assert SimulationTrace().max_coupler_usage() == 0
+
+    def test_mean_coupler_utilisation(self):
+        # 3 coupler-slot usages over 2 slots of 4 couplers each.
+        assert self._trace().mean_coupler_utilisation(4) == 3 / 8
+
+    def test_mean_utilisation_degenerate_cases(self):
+        assert SimulationTrace().mean_coupler_utilisation(4) == 0.0
+        assert self._trace().mean_coupler_utilisation(0) == 0.0
+
+    def test_packets_moved_per_slot(self):
+        assert self._trace().packets_moved_per_slot() == [1, 2]

@@ -1,0 +1,187 @@
+"""Unit, integration and property-based tests for the universal router (Theorem 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.patterns.families import figure3_permutation, vector_reversal
+from repro.pops.simulator import POPSSimulator
+from repro.pops.topology import POPSNetwork
+from repro.routing.permutation_router import (
+    PermutationRouter,
+    RoutingPlan,
+    theorem2_slot_bound,
+)
+from repro.utils.permutations import random_permutation
+
+BACKENDS = ["konig", "euler"]
+
+
+class TestSlotBound:
+    def test_d_equals_one(self):
+        assert theorem2_slot_bound(1, 17) == 1
+
+    def test_d_less_equal_g(self):
+        assert theorem2_slot_bound(2, 8) == 2
+        assert theorem2_slot_bound(8, 8) == 2
+
+    def test_d_greater_than_g(self):
+        assert theorem2_slot_bound(8, 4) == 4
+        assert theorem2_slot_bound(9, 4) == 6
+        assert theorem2_slot_bound(12, 1) == 24
+
+    def test_matches_network_property(self, network):
+        assert theorem2_slot_bound(network.d, network.g) == network.theorem2_slots
+
+
+class TestRoutingPlanStructure:
+    def test_plan_fields(self, square_network):
+        router = PermutationRouter(square_network)
+        plan = router.route(figure3_permutation())
+        assert isinstance(plan, RoutingPlan)
+        assert plan.network == square_network
+        assert plan.permutation == figure3_permutation()
+        assert len(plan.packets) == square_network.n
+        assert plan.fair_distribution is not None
+        assert plan.meets_theorem2_bound
+
+    def test_d1_plan_has_no_fair_distribution(self):
+        network = POPSNetwork(1, 5)
+        plan = PermutationRouter(network).route([4, 3, 2, 1, 0])
+        assert plan.fair_distribution is None
+        assert plan.intermediate_assignment == {}
+        assert plan.n_slots == 1
+
+    def test_intermediate_assignment_covers_every_processor(self, square_network):
+        plan = PermutationRouter(square_network).route(figure3_permutation())
+        assert sorted(plan.intermediate_assignment) == list(range(square_network.n))
+
+    def test_slots_required_helper(self, network):
+        assert PermutationRouter(network).slots_required() == network.theorem2_slots
+
+    def test_rejects_non_permutation(self, square_network):
+        with pytest.raises(ValidationError):
+            PermutationRouter(square_network).route([0] * square_network.n)
+
+    def test_rejects_wrong_length(self, square_network):
+        with pytest.raises(ValidationError):
+            PermutationRouter(square_network).route([0, 1, 2])
+
+
+class TestTheorem2EndToEnd:
+    """The headline result: exact slot counts plus verified delivery."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_random_permutations_all_regimes(self, network, backend, rng):
+        router = PermutationRouter(network, backend=backend)
+        simulator = POPSSimulator(network)
+        for _ in range(3):
+            pi = random_permutation(network.n, rng)
+            plan = router.route(pi)
+            assert plan.n_slots == theorem2_slot_bound(network.d, network.g)
+            simulator.route_and_verify(plan.schedule, plan.packets)
+
+    def test_identity_permutation(self, network):
+        plan = PermutationRouter(network).route(list(range(network.n)))
+        POPSSimulator(network).route_and_verify(plan.schedule, plan.packets)
+        assert plan.meets_theorem2_bound
+
+    def test_vector_reversal(self, network):
+        plan = PermutationRouter(network).route(vector_reversal(network.n))
+        POPSSimulator(network).route_and_verify(plan.schedule, plan.packets)
+        assert plan.n_slots == theorem2_slot_bound(network.d, network.g)
+
+    def test_figure3_example_two_slots(self, square_network):
+        plan = PermutationRouter(square_network).route(figure3_permutation())
+        assert plan.n_slots == 2
+        POPSSimulator(square_network).route_and_verify(plan.schedule, plan.packets)
+
+    def test_single_group_network(self):
+        network = POPSNetwork(5, 1)
+        router = PermutationRouter(network)
+        pi = [4, 0, 1, 2, 3]
+        plan = router.route(pi)
+        assert plan.n_slots == 2 * 5
+        POPSSimulator(network).route_and_verify(plan.schedule, plan.packets)
+
+    def test_every_packet_uses_at_most_two_hops_per_round(self, square_network):
+        plan = PermutationRouter(square_network).route(figure3_permutation())
+        # In the d <= g case there are exactly two slots, and every packet
+        # appears exactly once as a transmission in each slot.
+        for slot in plan.schedule.slots:
+            senders = [t.sender for t in slot.transmissions]
+            assert len(senders) == len(set(senders))
+            assert len(slot.transmissions) == square_network.n
+
+    def test_exhaustive_small_network(self):
+        """Every permutation of a POPS(2,2) routes in exactly 2 slots."""
+        from itertools import permutations
+
+        network = POPSNetwork(2, 2)
+        router = PermutationRouter(network)
+        simulator = POPSSimulator(network)
+        for pi in permutations(range(4)):
+            plan = router.route(list(pi))
+            assert plan.n_slots == 2
+            simulator.route_and_verify(plan.schedule, plan.packets)
+
+
+class TestScheduleShape:
+    def test_d_le_g_uses_two_slots_all_packets_in_first(self):
+        network = POPSNetwork(3, 6)
+        plan = PermutationRouter(network).route(random_permutation(18, random.Random(0)))
+        assert plan.n_slots == 2
+        assert len(plan.schedule.slots[0].transmissions) == 18
+
+    def test_d_gt_g_round_sizes(self):
+        network = POPSNetwork(7, 3)
+        plan = PermutationRouter(network).route(random_permutation(21, random.Random(0)))
+        # ceil(7/3) = 3 rounds of 2 slots.
+        assert plan.n_slots == 6
+        moved = [len(slot.transmissions) for slot in plan.schedule.slots]
+        # Scatter slots move at most g^2 packets; total moved in scatter slots is n.
+        scatter_counts = moved[0::2]
+        assert sum(scatter_counts) == 21
+        assert all(count <= 9 for count in scatter_counts)
+        # The last (partial) round moves g * (d mod g) = 3 packets.
+        assert min(scatter_counts) == 3
+
+    def test_coupler_capacity_never_exceeded(self, network, rng):
+        plan = PermutationRouter(network).route(random_permutation(network.n, rng))
+        for slot in plan.schedule.slots:
+            couplers = [t.coupler for t in slot.transmissions]
+            assert len(couplers) == len(set(couplers))
+            assert len(couplers) <= network.g ** 2
+
+
+class TestPropertyBased:
+    @given(
+        d=st.integers(min_value=1, max_value=8),
+        g=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_theorem2_bound_and_delivery(self, d, g, seed):
+        """Property form of Theorem 2 over random (d, g, π)."""
+        network = POPSNetwork(d, g)
+        pi = random_permutation(network.n, random.Random(seed))
+        plan = PermutationRouter(network).route(pi)
+        assert plan.n_slots == theorem2_slot_bound(d, g)
+        POPSSimulator(network).route_and_verify(plan.schedule, plan.packets)
+
+    @given(
+        g=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_backends_agree_on_slot_count(self, g, seed):
+        network = POPSNetwork(g, g)
+        pi = random_permutation(network.n, random.Random(seed))
+        konig = PermutationRouter(network, backend="konig").route(pi)
+        euler = PermutationRouter(network, backend="euler").route(pi)
+        assert konig.n_slots == euler.n_slots == 2

@@ -1,0 +1,208 @@
+"""Unit and property-based tests for repro.utils.permutations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.utils.permutations import (
+    Permutation,
+    compose,
+    cycle_decomposition,
+    fixed_points,
+    identity_permutation,
+    invert,
+    is_derangement,
+    is_involution,
+    is_permutation,
+    permutation_from_cycles,
+    random_derangement,
+    random_permutation,
+)
+
+
+def permutations_strategy(max_size: int = 30):
+    """Hypothesis strategy producing random permutations as lists."""
+    return st.integers(min_value=1, max_value=max_size).flatmap(
+        lambda n: st.permutations(list(range(n)))
+    )
+
+
+class TestIdentityAndPredicates:
+    def test_identity(self):
+        assert identity_permutation(4) == [0, 1, 2, 3]
+
+    def test_identity_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            identity_permutation(0)
+
+    def test_is_permutation_true(self):
+        assert is_permutation([2, 1, 0])
+
+    def test_is_permutation_false_on_repeat(self):
+        assert not is_permutation([0, 0, 1])
+
+    def test_is_permutation_false_on_range(self):
+        assert not is_permutation([0, 3, 1])
+
+    def test_fixed_points(self):
+        assert fixed_points([0, 2, 1, 3]) == [0, 3]
+
+    def test_is_derangement(self):
+        assert is_derangement([1, 0])
+        assert not is_derangement([0, 2, 1])
+
+    def test_is_involution(self):
+        assert is_involution([1, 0, 3, 2])
+        assert not is_involution([1, 2, 0])
+
+
+class TestComposeInvert:
+    def test_compose_applies_inner_first(self):
+        sigma = [1, 2, 0]
+        tau = [2, 0, 1]
+        assert compose(sigma, tau) == [sigma[tau[i]] for i in range(3)]
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            compose([0, 1], [0, 1, 2])
+
+    def test_invert_roundtrip(self):
+        pi = [3, 0, 2, 1]
+        assert compose(pi, invert(pi)) == [0, 1, 2, 3]
+        assert compose(invert(pi), pi) == [0, 1, 2, 3]
+
+    @given(permutations_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_invert_is_involutive(self, pi):
+        assert invert(invert(list(pi))) == list(pi)
+
+    @given(permutations_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_compose_with_identity(self, pi):
+        pi = list(pi)
+        identity = list(range(len(pi)))
+        assert compose(pi, identity) == pi
+        assert compose(identity, pi) == pi
+
+
+class TestCycles:
+    def test_cycle_decomposition_fixed_points_are_singletons(self):
+        cycles = cycle_decomposition([0, 1, 2])
+        assert cycles == [[0], [1], [2]]
+
+    def test_cycle_decomposition_full_cycle(self):
+        assert cycle_decomposition([1, 2, 0]) == [[0, 1, 2]]
+
+    def test_cycle_roundtrip(self):
+        pi = [4, 3, 0, 1, 2]
+        cycles = cycle_decomposition(pi)
+        assert permutation_from_cycles(cycles, 5) == pi
+
+    def test_from_cycles_unmentioned_are_fixed(self):
+        assert permutation_from_cycles([[0, 2]], 4) == [2, 1, 0, 3]
+
+    def test_from_cycles_rejects_overlap(self):
+        with pytest.raises(ValidationError):
+            permutation_from_cycles([[0, 1], [1, 2]], 3)
+
+    def test_from_cycles_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            permutation_from_cycles([[0, 5]], 3)
+
+    @given(permutations_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_cycles_partition_elements(self, pi):
+        pi = list(pi)
+        cycles = cycle_decomposition(pi)
+        elements = sorted(e for cycle in cycles for e in cycle)
+        assert elements == list(range(len(pi)))
+
+
+class TestRandomGenerators:
+    def test_random_permutation_is_permutation(self, rng):
+        assert is_permutation(random_permutation(20, rng))
+
+    def test_random_permutation_deterministic_given_seed(self):
+        assert random_permutation(10, random.Random(3)) == random_permutation(
+            10, random.Random(3)
+        )
+
+    def test_random_derangement_has_no_fixed_points(self, rng):
+        for _ in range(10):
+            assert is_derangement(random_derangement(8, rng))
+
+    def test_random_derangement_of_one_raises(self, rng):
+        with pytest.raises(ValidationError):
+            random_derangement(1, rng)
+
+    def test_random_derangement_of_two_is_swap(self, rng):
+        assert random_derangement(2, rng) == [1, 0]
+
+
+class TestPermutationClass:
+    def test_constructor_validates(self):
+        with pytest.raises(ValidationError):
+            Permutation([0, 0])
+
+    def test_len_getitem_call(self):
+        p = Permutation([2, 0, 1])
+        assert len(p) == 3
+        assert p[0] == 2
+        assert p(1) == 0
+
+    def test_equality_with_list(self):
+        assert Permutation([1, 0]) == [1, 0]
+        assert Permutation([1, 0]) == Permutation([1, 0])
+        assert Permutation([1, 0]) != Permutation([0, 1])
+
+    def test_hashable(self):
+        assert len({Permutation([0, 1]), Permutation([0, 1]), Permutation([1, 0])}) == 2
+
+    def test_multiplication_matches_compose(self):
+        p = Permutation([1, 2, 0])
+        q = Permutation([2, 0, 1])
+        assert (p * q).to_list() == compose([1, 2, 0], [2, 0, 1])
+
+    def test_inverse(self):
+        p = Permutation([3, 0, 2, 1])
+        assert (p * p.inverse()) == Permutation.identity(4)
+
+    def test_identity_classmethod(self):
+        assert Permutation.identity(3) == [0, 1, 2]
+
+    def test_from_cycles(self):
+        assert Permutation.from_cycles([[0, 1]], 3) == [1, 0, 2]
+
+    def test_random_classmethods(self, rng):
+        assert Permutation.random(6, rng).n == 6
+        assert Permutation.random_derangement(6, rng).is_derangement()
+
+    def test_order_of_identity(self):
+        assert Permutation.identity(5).order() == 1
+
+    def test_order_of_cycle(self):
+        assert Permutation([1, 2, 0, 4, 3]).order() == 6
+
+    def test_repr_round_trip(self):
+        p = Permutation([2, 0, 1])
+        assert "2, 0, 1" in repr(p)
+
+    def test_is_involution(self):
+        assert Permutation([1, 0, 2]).is_involution()
+
+    def test_fixed_points(self):
+        assert Permutation([0, 2, 1]).fixed_points() == [0]
+
+    @given(permutations_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_order_annihilates(self, pi):
+        p = Permutation(list(pi))
+        power = Permutation.identity(p.n)
+        for _ in range(p.order()):
+            power = p * power
+        assert power == Permutation.identity(p.n)

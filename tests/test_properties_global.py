@@ -1,0 +1,152 @@
+"""Cross-module property-based tests (hypothesis).
+
+These properties tie several layers together and are the strongest regression
+net in the suite: they assert the paper's statements over randomly drawn
+networks and workloads rather than hand-picked cases.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pops.packet import Packet
+from repro.pops.simulator import POPSSimulator
+from repro.pops.topology import POPSNetwork
+from repro.routing.baselines.blocked import BlockedPermutationRouter
+from repro.routing.baselines.direct import DirectRouter, direct_slots_required
+from repro.routing.lower_bounds import best_known_lower_bound
+from repro.routing.one_slot import is_one_slot_routable
+from repro.routing.permutation_router import PermutationRouter, theorem2_slot_bound
+from repro.routing.relation import HRelationRouter, h_relation_slot_bound
+from repro.patterns.generators import random_group_blocked_permutation
+from repro.utils.permutations import random_permutation
+
+
+def shapes(max_d: int = 6, max_g: int = 6):
+    return st.tuples(
+        st.integers(min_value=1, max_value=max_d),
+        st.integers(min_value=1, max_value=max_g),
+    )
+
+
+class TestRouterProperties:
+    @given(shape=shapes(), seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_slots_between_lower_bound_and_guarantee(self, shape, seed):
+        d, g = shape
+        network = POPSNetwork(d, g)
+        pi = random_permutation(network.n, random.Random(seed))
+        plan = PermutationRouter(network).route(pi)
+        POPSSimulator(network).route_and_verify(plan.schedule, plan.packets)
+        assert best_known_lower_bound(network, pi) <= plan.n_slots
+        assert plan.n_slots == theorem2_slot_bound(d, g)
+
+    @given(shape=shapes(), seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_one_slot_routable_iff_direct_needs_at_most_one(self, shape, seed):
+        """The Gravenstreter–Melhem condition is exactly 'max group-pair traffic <= 1'."""
+        d, g = shape
+        network = POPSNetwork(d, g)
+        pi = random_permutation(network.n, random.Random(seed))
+        assert is_one_slot_routable(network, pi) == (
+            direct_slots_required(network, pi) <= 1
+        )
+
+    @given(shape=shapes(), seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_blocked_router_matches_universal_router_slots(self, shape, seed):
+        d, g = shape
+        network = POPSNetwork(d, g)
+        pi = random_group_blocked_permutation(network, random.Random(seed))
+        universal = PermutationRouter(network).route(pi)
+        blocked_schedule = BlockedPermutationRouter(network).route(pi)
+        assert universal.n_slots == blocked_schedule.n_slots
+        packets = [Packet(i, pi[i]) for i in range(network.n)]
+        POPSSimulator(network).route_and_verify(blocked_schedule, packets)
+
+    @given(shape=shapes(), seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_direct_router_slots_equal_max_pair_traffic(self, shape, seed):
+        d, g = shape
+        network = POPSNetwork(d, g)
+        pi = random_permutation(network.n, random.Random(seed))
+        schedule = DirectRouter(network).route(pi)
+        assert schedule.n_slots == direct_slots_required(network, pi)
+        packets = [Packet(i, pi[i]) for i in range(network.n)]
+        POPSSimulator(network).route_and_verify(schedule, packets)
+
+
+class TestHRelationProperties:
+    @given(
+        shape=shapes(max_d=4, max_g=4),
+        h=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_union_of_h_permutations_routes_within_bound(self, shape, h, seed):
+        d, g = shape
+        network = POPSNetwork(d, g)
+        rng = random.Random(seed)
+        packets: list[Packet] = []
+        for _ in range(h):
+            pi = random_permutation(network.n, rng)
+            packets.extend(
+                Packet(i, pi[i]) for i in range(network.n) if i != pi[i]
+            )
+        router = HRelationRouter(network)
+        plan = router.route_packets(packets)
+        assert plan.relation.h <= h
+        assert plan.n_slots <= h_relation_slot_bound(d, g, h)
+        if packets:
+            result = POPSSimulator(network).run(plan.schedule, packets)
+            result.verify_permutation_delivery(packets)
+
+
+class TestSimulatorConservation:
+    @given(shape=shapes(), seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_packets_are_conserved(self, shape, seed):
+        """No packet is ever lost or duplicated by a permutation routing."""
+        d, g = shape
+        network = POPSNetwork(d, g)
+        pi = random_permutation(network.n, random.Random(seed))
+        plan = PermutationRouter(network).route(pi)
+        result = POPSSimulator(network).run(plan.schedule, plan.packets)
+        held = [packet for buffer in result.buffers.values() for packet in buffer]
+        assert sorted((p.source, p.destination) for p in held) == sorted(
+            (p.source, p.destination) for p in plan.packets
+        )
+
+    @given(shape=shapes(), seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_per_slot_coupler_capacity(self, shape, seed):
+        """No slot ever moves more packets than there are couplers (g^2)."""
+        d, g = shape
+        network = POPSNetwork(d, g)
+        pi = random_permutation(network.n, random.Random(seed))
+        plan = PermutationRouter(network).route(pi)
+        result = POPSSimulator(network).run(plan.schedule, plan.packets)
+        for moved in result.trace.packets_moved_per_slot():
+            assert moved <= network.n_couplers
+
+
+@pytest.mark.slow
+class TestExhaustiveTinyNetworks:
+    """Exhaustive verification on tiny networks: every permutation, not a sample."""
+
+    @pytest.mark.parametrize("d,g", [(2, 2), (1, 3), (3, 1), (2, 3)])
+    def test_every_permutation_routes_at_bound(self, d, g):
+        from itertools import permutations
+
+        network = POPSNetwork(d, g)
+        router = PermutationRouter(network)
+        simulator = POPSSimulator(network)
+        expected = theorem2_slot_bound(d, g)
+        for pi in permutations(range(network.n)):
+            plan = router.route(list(pi))
+            assert plan.n_slots == expected
+            simulator.route_and_verify(plan.schedule, plan.packets)

@@ -1,0 +1,126 @@
+"""Tests for h-relation routing (the extension built on Theorem 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pops.packet import Packet
+from repro.pops.simulator import POPSSimulator
+from repro.pops.topology import POPSNetwork
+from repro.routing.relation import HRelation, HRelationRouter, h_relation_slot_bound
+from repro.routing.permutation_router import theorem2_slot_bound
+from repro.utils.permutations import random_permutation
+
+
+def route_and_verify(network: POPSNetwork, packets: list[Packet]):
+    router = HRelationRouter(network)
+    plan = router.route_packets(packets)
+    result = POPSSimulator(network).run(plan.schedule, packets)
+    result.verify_permutation_delivery(packets)
+    return plan
+
+
+class TestHRelation:
+    def test_degree_computation(self):
+        network = POPSNetwork(2, 3)
+        packets = [Packet(0, 3), Packet(0, 4), Packet(1, 3)]
+        relation = HRelation.from_packets(network, packets)
+        assert relation.h == 2  # processor 0 sends 2, processor 3 receives 2
+        assert len(relation) == 3
+
+    def test_rejects_out_of_range(self):
+        network = POPSNetwork(2, 2)
+        with pytest.raises(ValidationError):
+            HRelation.from_packets(network, [Packet(0, 9)])
+
+    def test_traffic_graph_multiplicities(self):
+        network = POPSNetwork(2, 2)
+        packets = [Packet(0, 1), Packet(0, 1), Packet(2, 3)]
+        graph = HRelation.from_packets(network, packets).traffic_graph()
+        assert graph.multiplicity(0, 1) == 2
+        assert graph.multiplicity(2, 3) == 1
+
+    def test_slot_bound_helper(self):
+        assert h_relation_slot_bound(8, 4, 3) == 3 * theorem2_slot_bound(8, 4)
+        assert h_relation_slot_bound(1, 8, 5) == 5
+
+
+class TestHRelationRouter:
+    def test_permutation_is_one_round(self, rng):
+        network = POPSNetwork(4, 3)
+        pi = random_permutation(network.n, rng)
+        packets = [Packet(i, pi[i]) for i in range(network.n)]
+        plan = route_and_verify(network, packets)
+        assert plan.n_rounds == 1
+        assert plan.n_slots == theorem2_slot_bound(4, 3)
+
+    def test_empty_relation(self):
+        network = POPSNetwork(2, 2)
+        plan = HRelationRouter(network).route_packets([])
+        assert plan.n_slots == 0
+        assert plan.n_rounds == 0
+
+    def test_two_relation(self, rng):
+        network = POPSNetwork(3, 3)
+        # Every processor sends to its two cyclic successors: h = 2.
+        packets = []
+        for i in range(network.n):
+            packets.append(Packet(i, (i + 1) % network.n))
+            packets.append(Packet(i, (i + 2) % network.n))
+        plan = route_and_verify(network, packets)
+        assert plan.relation.h == 2
+        assert plan.n_slots <= h_relation_slot_bound(3, 3, 2)
+
+    def test_skewed_relation_gather_like(self):
+        network = POPSNetwork(2, 4)
+        root = 0
+        packets = [Packet(i, root) for i in range(1, network.n)]
+        plan = route_and_verify(network, packets)
+        assert plan.relation.h == network.n - 1
+        assert plan.n_slots <= h_relation_slot_bound(2, 4, network.n - 1)
+
+    def test_stationary_packets_need_no_slots(self):
+        network = POPSNetwork(2, 2)
+        packets = [Packet(i, i) for i in range(network.n)]
+        plan = route_and_verify(network, packets)
+        assert plan.n_slots == 0
+
+    def test_duplicate_packets_same_pair(self):
+        network = POPSNetwork(2, 3)
+        packets = [Packet(0, 5), Packet(0, 5), Packet(0, 5)]
+        plan = route_and_verify(network, packets)
+        assert plan.relation.h == 3
+        # Three parallel copies must go in three different rounds.
+        assert plan.n_rounds == 3
+
+    def test_random_h_relations(self, rng):
+        network = POPSNetwork(3, 3)
+        h = 3
+        # Build a random h-relation as a union of h random permutations.
+        packets: list[Packet] = []
+        for _ in range(h):
+            pi = random_permutation(network.n, rng)
+            packets.extend(Packet(i, pi[i]) for i in range(network.n) if i != pi[i])
+        plan = route_and_verify(network, packets)
+        assert plan.relation.h <= h
+        assert plan.n_slots <= h_relation_slot_bound(3, 3, h)
+
+    def test_d1_relation(self, rng):
+        network = POPSNetwork(1, 5)
+        packets = [Packet(0, 1), Packet(0, 2), Packet(3, 1)]
+        plan = route_and_verify(network, packets)
+        assert plan.n_slots <= h_relation_slot_bound(1, 5, 2)
+
+    def test_euler_backend(self, rng):
+        network = POPSNetwork(4, 2)
+        pi = random_permutation(network.n, rng)
+        sigma = random_permutation(network.n, rng)
+        packets = [Packet(i, pi[i]) for i in range(network.n) if i != pi[i]]
+        packets += [Packet(i, sigma[i]) for i in range(network.n) if i != sigma[i]]
+        router = HRelationRouter(network, backend="euler")
+        plan = router.route_packets(packets)
+        result = POPSSimulator(network).run(plan.schedule, packets)
+        result.verify_permutation_delivery(packets)

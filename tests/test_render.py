@@ -1,0 +1,87 @@
+"""Tests for schedule rendering and export (repro.pops.render)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.patterns.families import figure3_permutation
+from repro.pops.render import (
+    coupler_usage_grid,
+    render_schedule,
+    render_slot,
+    schedule_to_dict,
+)
+from repro.pops.schedule import RoutingSchedule
+from repro.pops.topology import POPSNetwork
+from repro.routing.permutation_router import PermutationRouter
+
+
+def figure3_schedule():
+    network = POPSNetwork(3, 3)
+    plan = PermutationRouter(network).route(figure3_permutation())
+    return network, plan.schedule
+
+
+class TestRenderSlot:
+    def test_mentions_every_coupler_used(self):
+        network, schedule = figure3_schedule()
+        text = render_slot(network, schedule.slots[0], 0)
+        assert text.startswith("slot 0: 9 packet(s) moved")
+        assert text.count("c(") == 9
+
+    def test_idle_slot(self):
+        network = POPSNetwork(2, 2)
+        schedule = RoutingSchedule(network=network)
+        slot = schedule.new_slot()
+        assert "(idle slot)" in render_slot(network, slot, 0)
+
+
+class TestRenderSchedule:
+    def test_header_and_slot_count(self):
+        _, schedule = figure3_schedule()
+        text = render_schedule(schedule)
+        assert "POPS(d=3, g=3)" in text
+        assert "2 slot(s)" in text
+        assert "slot 0:" in text and "slot 1:" in text
+
+    def test_description_included(self):
+        _, schedule = figure3_schedule()
+        assert schedule.description in render_schedule(schedule)
+
+
+class TestScheduleToDict:
+    def test_roundtrips_through_json(self):
+        _, schedule = figure3_schedule()
+        exported = schedule_to_dict(schedule)
+        parsed = json.loads(json.dumps(exported))
+        assert parsed["network"] == {"d": 3, "g": 3}
+        assert parsed["n_slots"] == 2
+        assert len(parsed["slots"]) == 2
+
+    def test_transmission_fields(self):
+        _, schedule = figure3_schedule()
+        exported = schedule_to_dict(schedule)
+        first = exported["slots"][0]["transmissions"][0]
+        assert set(first) == {"sender", "coupler", "packet", "consume"}
+        assert set(first["coupler"]) == {"dest_group", "source_group"}
+
+    def test_counts_match_schedule(self):
+        _, schedule = figure3_schedule()
+        exported = schedule_to_dict(schedule)
+        for slot, exported_slot in zip(schedule.slots, exported["slots"]):
+            assert len(exported_slot["transmissions"]) == len(slot.transmissions)
+            assert len(exported_slot["receptions"]) == len(slot.receptions)
+
+
+class TestCouplerUsageGrid:
+    def test_full_grid_on_square_network(self):
+        # On POPS(3,3) the scatter slot uses all 9 couplers.
+        _, schedule = figure3_schedule()
+        grid = coupler_usage_grid(schedule)
+        assert "slot 0 (9/9 couplers busy)" in grid
+        assert "###" in grid
+
+    def test_empty_schedule(self):
+        network = POPSNetwork(2, 2)
+        schedule = RoutingSchedule(network=network)
+        assert coupler_usage_grid(schedule) == ""

@@ -1,0 +1,47 @@
+"""Unit tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.utils.rng import resolve_rng, spawn_rngs
+
+
+class TestResolveRng:
+    def test_none_gives_random_instance(self):
+        assert isinstance(resolve_rng(None), random.Random)
+
+    def test_seed_gives_deterministic_stream(self):
+        assert resolve_rng(42).random() == resolve_rng(42).random()
+
+    def test_existing_generator_passthrough(self):
+        generator = random.Random(1)
+        assert resolve_rng(generator) is generator
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            resolve_rng(True)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_objects(self):
+        children = spawn_rngs(0, 3)
+        assert len({id(child) for child in children}) == 3
+
+    def test_deterministic_from_seed(self):
+        first = [child.random() for child in spawn_rngs(7, 4)]
+        second = [child.random() for child in spawn_rngs(7, 4)]
+        assert first == second
+
+    def test_children_streams_differ(self):
+        children = spawn_rngs(3, 2)
+        assert children[0].random() != children[1].random()

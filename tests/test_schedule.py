@@ -1,0 +1,165 @@
+"""Unit tests for repro.pops.schedule (static validation of slot programs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    CouplerConflictError,
+    ReceiverConflictError,
+    TransmitterError,
+)
+from repro.pops.packet import Packet
+from repro.pops.schedule import Reception, RoutingSchedule, SlotProgram, Transmission
+from repro.pops.topology import POPSNetwork
+
+
+@pytest.fixture
+def net() -> POPSNetwork:
+    return POPSNetwork(2, 3)
+
+
+class TestSlotProgram:
+    def test_add_helpers(self, net):
+        slot = SlotProgram()
+        packet = Packet(0, 3)
+        slot.add_transmission(0, net.coupler(1, 0), packet)
+        slot.add_reception(3, net.coupler(1, 0))
+        assert slot.transmissions == [Transmission(0, net.coupler(1, 0), packet, True)]
+        assert slot.receptions == [Reception(3, net.coupler(1, 0))]
+
+    def test_packets_moved_counts_couplers(self, net):
+        slot = SlotProgram()
+        packet = Packet(0, 3)
+        slot.add_transmission(0, net.coupler(0, 0), packet, consume=False)
+        slot.add_transmission(0, net.coupler(1, 0), packet, consume=False)
+        assert slot.n_packets_moved == 2
+        assert slot.couplers_used() == {net.coupler(0, 0), net.coupler(1, 0)}
+
+    def test_validate_accepts_legal_slot(self, net):
+        slot = SlotProgram()
+        slot.add_transmission(0, net.coupler(1, 0), Packet(0, 2))
+        slot.add_reception(2, net.coupler(1, 0))
+        slot.validate(net)
+
+    def test_validate_rejects_wrong_transmitter(self, net):
+        slot = SlotProgram()
+        # Processor 0 is in group 0 but the coupler is fed by group 1.
+        slot.add_transmission(0, net.coupler(0, 1), Packet(0, 2))
+        with pytest.raises(TransmitterError):
+            slot.validate(net)
+
+    def test_validate_rejects_coupler_conflict(self, net):
+        slot = SlotProgram()
+        slot.add_transmission(0, net.coupler(1, 0), Packet(0, 2))
+        slot.add_transmission(1, net.coupler(1, 0), Packet(1, 3))
+        with pytest.raises(CouplerConflictError):
+            slot.validate(net)
+
+    def test_validate_allows_broadcast_of_same_packet(self, net):
+        slot = SlotProgram()
+        packet = Packet(0, 0)
+        for dest_group in net.groups():
+            slot.add_transmission(0, net.coupler(dest_group, 0), packet, consume=False)
+        slot.validate(net)
+
+    def test_validate_rejects_two_packets_from_one_sender(self, net):
+        slot = SlotProgram()
+        slot.add_transmission(0, net.coupler(0, 0), Packet(0, 2))
+        slot.add_transmission(0, net.coupler(1, 0), Packet(1, 3))
+        with pytest.raises(CouplerConflictError):
+            slot.validate(net)
+
+    def test_validate_rejects_wrong_receiver(self, net):
+        slot = SlotProgram()
+        slot.add_transmission(0, net.coupler(1, 0), Packet(0, 2))
+        # Processor 0 is in group 0; coupler c(1, 0) feeds group 1 only.
+        slot.add_reception(0, net.coupler(1, 0))
+        with pytest.raises(TransmitterError):
+            slot.validate(net)
+
+    def test_validate_rejects_double_read(self, net):
+        slot = SlotProgram()
+        slot.add_transmission(0, net.coupler(1, 0), Packet(0, 2))
+        slot.add_transmission(4, net.coupler(1, 2), Packet(4, 3))
+        slot.add_reception(2, net.coupler(1, 0))
+        slot.add_reception(2, net.coupler(1, 2))
+        with pytest.raises(ReceiverConflictError):
+            slot.validate(net)
+
+    def test_validate_rejects_unknown_processor(self, net):
+        slot = SlotProgram()
+        slot.add_transmission(99, net.coupler(1, 0), Packet(0, 2))
+        with pytest.raises(ConfigurationError):
+            slot.validate(net)
+
+    def test_validate_rejects_unknown_coupler(self, net):
+        from repro.pops.topology import Coupler
+
+        slot = SlotProgram()
+        slot.transmissions.append(Transmission(0, Coupler(7, 0), Packet(0, 2), True))
+        with pytest.raises(ConfigurationError):
+            slot.validate(net)
+
+
+class TestRoutingSchedule:
+    def test_new_slot_appends(self, net):
+        schedule = RoutingSchedule(network=net)
+        first = schedule.new_slot()
+        second = schedule.new_slot()
+        assert schedule.n_slots == 2
+        assert schedule.slots == [first, second]
+
+    def test_len_and_iter(self, net):
+        schedule = RoutingSchedule(network=net)
+        schedule.new_slot()
+        assert len(schedule) == 1
+        assert list(schedule) == schedule.slots
+
+    def test_extend_same_network(self, net):
+        a = RoutingSchedule(network=net)
+        a.new_slot()
+        b = RoutingSchedule(network=net)
+        b.new_slot()
+        b.new_slot()
+        a.extend(b)
+        assert a.n_slots == 3
+
+    def test_extend_different_network_rejected(self, net):
+        a = RoutingSchedule(network=net)
+        b = RoutingSchedule(network=POPSNetwork(3, 3))
+        with pytest.raises(ConfigurationError):
+            a.extend(b)
+
+    def test_concatenate(self, net):
+        parts = []
+        for _ in range(3):
+            schedule = RoutingSchedule(network=net)
+            schedule.new_slot()
+            parts.append(schedule)
+        combined = RoutingSchedule.concatenate(net, parts, description="joined")
+        assert combined.n_slots == 3
+        assert combined.description == "joined"
+
+    def test_packets_collects_all(self, net):
+        schedule = RoutingSchedule(network=net)
+        slot = schedule.new_slot()
+        slot.add_transmission(0, net.coupler(1, 0), Packet(0, 2))
+        slot.add_transmission(2, net.coupler(0, 1), Packet(2, 1))
+        assert schedule.packets() == {Packet(0, 2), Packet(2, 1)}
+
+    def test_couplers_used_per_slot(self, net):
+        schedule = RoutingSchedule(network=net)
+        slot = schedule.new_slot()
+        slot.add_transmission(0, net.coupler(1, 0), Packet(0, 2))
+        schedule.new_slot()
+        assert schedule.couplers_used_per_slot() == [1, 0]
+
+    def test_validate_runs_every_slot(self, net):
+        schedule = RoutingSchedule(network=net)
+        schedule.new_slot()
+        bad = schedule.new_slot()
+        bad.add_transmission(0, net.coupler(0, 1), Packet(0, 2))
+        with pytest.raises(TransmitterError):
+            schedule.validate()

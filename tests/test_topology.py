@@ -1,0 +1,120 @@
+"""Unit tests for repro.pops.topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.pops.topology import Coupler, POPSNetwork
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        network = POPSNetwork(3, 2)
+        assert network.d == 3
+        assert network.g == 2
+        assert network.n == 6
+        assert network.n_couplers == 4
+
+    def test_from_processor_count(self):
+        network = POPSNetwork.from_processor_count(12, 4)
+        assert (network.d, network.g) == (3, 4)
+
+    def test_from_processor_count_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            POPSNetwork.from_processor_count(10, 4)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            POPSNetwork(0, 3)
+        with pytest.raises(ValidationError):
+            POPSNetwork(3, 0)
+
+    def test_equality_and_hash(self):
+        assert POPSNetwork(2, 3) == POPSNetwork(2, 3)
+        assert POPSNetwork(2, 3) != POPSNetwork(3, 2)
+        assert len({POPSNetwork(2, 3), POPSNetwork(2, 3)}) == 1
+
+    def test_repr(self):
+        assert repr(POPSNetwork(2, 5)) == "POPSNetwork(d=2, g=5)"
+
+
+class TestScalarProperties:
+    def test_diameter_is_one(self, network):
+        assert network.diameter == 1
+
+    def test_max_packets_per_slot(self, network):
+        assert network.max_packets_per_slot == network.g ** 2
+
+    def test_coupler_fanout(self, network):
+        assert network.coupler_fanout == network.d
+
+    def test_theorem2_slots(self):
+        assert POPSNetwork(1, 8).theorem2_slots == 1
+        assert POPSNetwork(4, 4).theorem2_slots == 2
+        assert POPSNetwork(8, 4).theorem2_slots == 4
+        assert POPSNetwork(7, 5).theorem2_slots == 4
+        assert POPSNetwork(12, 1).theorem2_slots == 24
+
+
+class TestIndexing:
+    def test_group_of_matches_paper_definition(self, network):
+        for processor in network.processors():
+            assert network.group_of(processor) == processor // network.d
+
+    def test_local_index(self, network):
+        for processor in network.processors():
+            assert network.local_index(processor) == processor % network.d
+
+    def test_processor_roundtrip(self, network):
+        for processor in network.processors():
+            group = network.group_of(processor)
+            local = network.local_index(processor)
+            assert network.processor(group, local) == processor
+
+    def test_processors_in_group(self):
+        network = POPSNetwork(3, 2)
+        assert list(network.processors_in_group(1)) == [3, 4, 5]
+
+    def test_out_of_range_processor(self):
+        network = POPSNetwork(2, 2)
+        with pytest.raises(ValidationError):
+            network.group_of(4)
+
+    def test_out_of_range_group(self):
+        network = POPSNetwork(2, 2)
+        with pytest.raises(ValidationError):
+            network.processor(2, 0)
+
+
+class TestCouplers:
+    def test_coupler_count(self, network):
+        assert len(network.couplers()) == network.g ** 2
+
+    def test_coupler_repr(self):
+        assert repr(Coupler(1, 2)) == "c(1,2)"
+
+    def test_transmit_couplers_all_start_in_own_group(self, network):
+        processor = network.n - 1
+        for coupler in network.transmit_couplers(processor):
+            assert coupler.source_group == network.group_of(processor)
+        assert len(network.transmit_couplers(processor)) == network.g
+
+    def test_receive_couplers_all_end_in_own_group(self, network):
+        processor = 0
+        for coupler in network.receive_couplers(processor):
+            assert coupler.dest_group == network.group_of(processor)
+        assert len(network.receive_couplers(processor)) == network.g
+
+    def test_can_transmit_and_receive(self):
+        network = POPSNetwork(3, 2)
+        # Processor 0 is in group 0.
+        assert network.can_transmit(0, Coupler(1, 0))
+        assert not network.can_transmit(0, Coupler(0, 1))
+        assert network.can_receive(0, Coupler(0, 1))
+        assert not network.can_receive(0, Coupler(1, 0))
+
+    def test_coupler_validation(self):
+        network = POPSNetwork(2, 2)
+        with pytest.raises(ValidationError):
+            network.coupler(2, 0)

@@ -1,0 +1,136 @@
+"""Unit tests for the shared two-hop schedule builder (repro.routing.two_hop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.pops.packet import Packet
+from repro.pops.simulator import POPSSimulator
+from repro.pops.topology import POPSNetwork
+from repro.routing.fair_distribution import FairDistributionSolver
+from repro.routing.list_system import ListSystem
+from repro.routing.two_hop import (
+    build_round_schedule,
+    build_theorem2_schedule,
+    build_two_slot_schedule,
+)
+from repro.utils.permutations import random_permutation
+
+
+def packets_for(network: POPSNetwork, pi: list[int]) -> list[Packet]:
+    return [Packet(source=i, destination=pi[i]) for i in range(network.n)]
+
+
+def fair_distribution_for(network: POPSNetwork, pi: list[int]):
+    system = ListSystem.from_permutation(pi, network.d, network.g)
+    return FairDistributionSolver().solve(system)
+
+
+class TestDispatch:
+    def test_dispatch_two_slot(self, rng):
+        network = POPSNetwork(3, 4)
+        pi = random_permutation(network.n, rng)
+        schedule, _ = build_theorem2_schedule(
+            network, packets_for(network, pi), fair_distribution_for(network, pi)
+        )
+        assert schedule.n_slots == 2
+
+    def test_dispatch_rounds(self, rng):
+        network = POPSNetwork(5, 2)
+        pi = random_permutation(network.n, rng)
+        schedule, _ = build_theorem2_schedule(
+            network, packets_for(network, pi), fair_distribution_for(network, pi)
+        )
+        assert schedule.n_slots == 6
+
+
+class TestTwoSlotBuilder:
+    def test_wrong_regime_rejected(self, rng):
+        network = POPSNetwork(5, 2)
+        pi = random_permutation(network.n, rng)
+        with pytest.raises(RoutingError):
+            build_two_slot_schedule(
+                network, packets_for(network, pi), fair_distribution_for(network, pi)
+            )
+
+    def test_bad_fair_value_range_rejected(self, rng):
+        network = POPSNetwork(2, 3)
+        pi = random_permutation(network.n, rng)
+        with pytest.raises(RoutingError, match="not a group"):
+            build_two_slot_schedule(network, packets_for(network, pi), lambda h, i: 99)
+
+    def test_unbalanced_fair_values_rejected(self, rng):
+        network = POPSNetwork(2, 3)
+        pi = random_permutation(network.n, rng)
+        # Sending every packet to intermediate group 0 violates condition (2).
+        with pytest.raises(RoutingError):
+            build_two_slot_schedule(network, packets_for(network, pi), lambda h, i: 0)
+
+    def test_condition1_violation_rejected(self):
+        network = POPSNetwork(2, 2)
+        pi = [2, 3, 0, 1]
+        packets = packets_for(network, pi)
+        # Both packets of group 0 to intermediate 0, both of group 1 to 1:
+        # balanced arrivals (condition 2 holds) but same-source duplicates.
+        with pytest.raises(RoutingError, match="condition 1"):
+            build_two_slot_schedule(network, packets, lambda h, i: h)
+
+    def test_intermediates_returned(self, rng):
+        network = POPSNetwork(3, 3)
+        pi = random_permutation(network.n, rng)
+        distribution = fair_distribution_for(network, pi)
+        _, intermediates = build_two_slot_schedule(
+            network, packets_for(network, pi), distribution
+        )
+        for h in range(3):
+            for i in range(3):
+                assert intermediates[network.processor(h, i)] == distribution(h, i)
+
+
+class TestRoundBuilder:
+    def test_wrong_regime_rejected(self, rng):
+        network = POPSNetwork(2, 3)
+        pi = random_permutation(network.n, rng)
+        with pytest.raises(RoutingError):
+            build_round_schedule(
+                network, packets_for(network, pi), fair_distribution_for(network, pi)
+            )
+
+    def test_bad_value_range_rejected(self, rng):
+        network = POPSNetwork(4, 2)
+        pi = random_permutation(network.n, rng)
+        with pytest.raises(RoutingError, match="outside"):
+            build_round_schedule(network, packets_for(network, pi), lambda h, i: 100)
+
+    def test_duplicate_value_per_group_rejected(self, rng):
+        network = POPSNetwork(4, 2)
+        pi = random_permutation(network.n, rng)
+        with pytest.raises(RoutingError, match="condition 1"):
+            build_round_schedule(network, packets_for(network, pi), lambda h, i: 0)
+
+    def test_schedule_delivers(self, rng):
+        network = POPSNetwork(6, 2)
+        pi = random_permutation(network.n, rng)
+        packets = packets_for(network, pi)
+        schedule, _ = build_round_schedule(
+            network, packets, fair_distribution_for(network, pi)
+        )
+        assert schedule.n_slots == 6
+        POPSSimulator(network).route_and_verify(schedule, packets)
+
+
+class TestDeliverySlotGuard:
+    def test_unfair_scatter_detected_at_delivery(self):
+        # Construct a "fair-looking" assignment that satisfies conditions 1-2
+        # but violates condition 3, so the conflict must surface at delivery.
+        network = POPSNetwork(2, 2)
+        # Destination groups per packet: p0 -> 1, p1 -> 0, p2 -> 0, p3 -> 1.
+        pi = [2, 1, 0, 3]
+        packets = packets_for(network, pi)
+        # Distinct intermediates per source group (condition 1) and balanced
+        # arrivals (condition 2), but p0 and p3 — both headed for group 1 —
+        # share intermediate group 0 (condition 3 violated).
+        fair = {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}
+        with pytest.raises(RoutingError, match="delivery slot"):
+            build_two_slot_schedule(network, packets, lambda h, i: fair[(h, i)])

@@ -1,0 +1,149 @@
+"""Unit tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.utils.validation import (
+    check_divides,
+    check_in_range,
+    check_non_negative_int,
+    check_permutation,
+    check_positive_int,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValidationError, match="banana"):
+            check_positive_int(-1, "banana")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_non_negative_int(False, "x")
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        assert check_in_range(3, 0, 5, "x") == 3
+
+    def test_low_bound_inclusive(self):
+        assert check_in_range(0, 0, 5, "x") == 0
+
+    def test_high_bound_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_in_range(5, 0, 5, "x")
+
+    def test_rejects_below(self):
+        with pytest.raises(ValidationError):
+            check_in_range(-1, 0, 5, "x")
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ValidationError):
+            check_in_range(1.5, 0, 5, "x")
+
+
+class TestCheckDivides:
+    def test_exact_division_passes(self):
+        check_divides(4, 12, "ctx")
+
+    def test_non_division_fails(self):
+        with pytest.raises(ConfigurationError, match="does not divide"):
+            check_divides(5, 12, "ctx")
+
+    def test_zero_divisor_fails(self):
+        with pytest.raises(ConfigurationError):
+            check_divides(0, 12, "ctx")
+
+
+class TestCheckPermutation:
+    def test_valid_permutation(self):
+        assert check_permutation([2, 0, 1]) == [2, 0, 1]
+
+    def test_returns_copy(self):
+        original = [1, 0]
+        result = check_permutation(original)
+        assert result == [1, 0]
+        assert result is not original
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="length"):
+            check_permutation([0, 1], n=3)
+
+    def test_repeated_image(self):
+        with pytest.raises(ValidationError, match="repeats"):
+            check_permutation([0, 0, 2])
+
+    def test_out_of_range_image(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            check_permutation([0, 3, 1])
+
+    def test_negative_image(self):
+        with pytest.raises(ValidationError):
+            check_permutation([0, -1, 2])
+
+    def test_accepts_tuple_input(self):
+        assert check_permutation((1, 0)) == [1, 0]
+
+    def test_empty_is_valid(self):
+        assert check_permutation([]) == []
+
+
+class TestCheckProbability:
+    def test_bounds_accepted(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_interior_accepted(self):
+        assert check_probability(0.25, "p") == 0.25
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.01, "p")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            check_probability(-0.1, "p")
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        assert check_type("abc", str, "x") == "abc"
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValidationError, match="type"):
+            check_type("abc", int, "x")
+
+    def test_accepts_union(self):
+        assert check_type(3, (int, float), "x") == 3

@@ -1,0 +1,84 @@
+"""Tests for windowed data operations (consecutive/adjacent sums, circular shift)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.window import adjacent_sum, circular_shift, consecutive_sum
+from repro.exceptions import ValidationError
+from repro.pops.topology import POPSNetwork
+from repro.routing.permutation_router import theorem2_slot_bound
+
+
+class TestCircularShift:
+    @pytest.mark.parametrize("d,g", [(2, 3), (3, 2), (1, 5)])
+    def test_shift_by_one(self, d, g):
+        network = POPSNetwork(d, g)
+        values = list(range(network.n))
+        shifted, slots = circular_shift(network, values, offset=1)
+        assert shifted == [values[(i - 1) % network.n] for i in range(network.n)]
+        assert slots == theorem2_slot_bound(d, g)
+
+    def test_negative_offset(self):
+        network = POPSNetwork(2, 3)
+        shifted, _ = circular_shift(network, list(range(6)), offset=-2)
+        assert shifted == [(i + 2) % 6 for i in range(6)]
+
+    def test_wrong_length(self):
+        with pytest.raises(ValidationError):
+            circular_shift(POPSNetwork(2, 2), [1, 2, 3], 1)
+
+
+class TestConsecutiveSum:
+    def reference(self, values, window):
+        n = len(values)
+        return [sum(values[(i + k) % n] for k in range(window)) for i in range(n)]
+
+    @pytest.mark.parametrize("window", [1, 2, 3, 5])
+    def test_matches_reference(self, window):
+        network = POPSNetwork(2, 3)
+        values = [3 * i + 1 for i in range(network.n)]
+        result, slots = consecutive_sum(network, values, window)
+        assert result == self.reference(values, window)
+        assert slots == (window - 1) * theorem2_slot_bound(2, 3)
+
+    def test_window_one_is_identity_and_free(self):
+        network = POPSNetwork(3, 2)
+        values = list(range(6))
+        result, slots = consecutive_sum(network, values, 1)
+        assert result == values
+        assert slots == 0
+
+    def test_full_window_equals_total(self):
+        network = POPSNetwork(2, 2)
+        values = [1, 2, 3, 4]
+        result, _ = consecutive_sum(network, values, 4)
+        assert result == [10, 10, 10, 10]
+
+    def test_window_too_large(self):
+        with pytest.raises(ValidationError):
+            consecutive_sum(POPSNetwork(2, 2), [0] * 4, 5)
+
+    def test_wrong_value_count(self):
+        with pytest.raises(ValidationError):
+            consecutive_sum(POPSNetwork(2, 2), [0] * 3, 2)
+
+    def test_non_commutative_combine_preserves_order(self):
+        network = POPSNetwork(2, 2)
+        values = ["a", "b", "c", "d"]
+        result, _ = consecutive_sum(network, values, 3, combine=lambda x, y: x + y)
+        assert result == ["abc", "bcd", "cda", "dab"]
+
+    def test_d1_costs_window_minus_one_slots(self):
+        network = POPSNetwork(1, 6)
+        _, slots = consecutive_sum(network, list(range(6)), 4)
+        assert slots == 3
+
+
+class TestAdjacentSum:
+    def test_adjacent_sum(self):
+        network = POPSNetwork(2, 3)
+        values = [10, 20, 30, 40, 50, 60]
+        result, slots = adjacent_sum(network, values)
+        assert result == [30, 50, 70, 90, 110, 70]
+        assert slots == theorem2_slot_bound(2, 3)
