@@ -9,7 +9,9 @@ DESIGN.md §5 calls out two implementation choices worth ablating:
   the repository's purpose is reproduction.
 
 Both knobs leave the slot counts untouched (asserted below); only the routing
-computation time changes.
+computation time changes.  A third ablation compares the simulator backends
+(per-object ``reference`` execution vs the vectorized ``batched`` engine) on
+the multi-slot schedules the universal router emits.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import random
 
 import pytest
 
+from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
 from repro.routing.permutation_router import PermutationRouter, theorem2_slot_bound
 from repro.utils.permutations import random_permutation
@@ -42,3 +45,16 @@ def test_verification_overhead(benchmark, verify):
     router = PermutationRouter(network, verify=verify)
     plan = benchmark(lambda: router.route(pi))
     assert plan.n_slots == 2
+
+
+@pytest.mark.parametrize("sim_backend", POPSSimulator.BACKENDS)
+@pytest.mark.parametrize("d,g", SHAPES, ids=[f"d{d}g{g}" for d, g in SHAPES])
+def test_simulator_backend_ablation(benchmark, d, g, sim_backend):
+    network = POPSNetwork(d, g)
+    pi = random_permutation(network.n, random.Random(19))
+    plan = PermutationRouter(network, verify=False).route(pi)
+    simulator = POPSSimulator(network, backend=sim_backend)
+
+    result = benchmark(lambda: simulator.run(plan.schedule, plan.packets))
+    assert result.n_slots == theorem2_slot_bound(d, g)
+    result.verify_permutation_delivery(plan.packets)

@@ -6,11 +6,26 @@ Every benchmark corresponds to one experiment of DESIGN.md's experiment index
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Benchmarks marked ``slow`` are skipped by default; opt in explicitly with
+``-m slow`` (or ``-m ""`` to run everything).
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Deselect ``slow``-marked benchmarks unless a ``-m`` expression opts in."""
+    if config.option.markexpr:
+        return
+    skip_slow = pytest.mark.skip(
+        reason="slow benchmark; select explicitly with -m slow"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 def report(result) -> None:

@@ -33,6 +33,7 @@ from repro.pops.topology import POPSNetwork, Coupler
 from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule, SlotProgram
 from repro.pops.simulator import POPSSimulator, SimulationResult
+from repro.pops.engine import BatchedSimulator
 from repro.routing.permutation_router import (
     PermutationRouter,
     RoutingPlan,
@@ -59,6 +60,7 @@ __all__ = [
     "SlotProgram",
     "POPSSimulator",
     "SimulationResult",
+    "BatchedSimulator",
     "PermutationRouter",
     "RoutingPlan",
     "theorem2_slot_bound",

@@ -52,11 +52,17 @@ def measure_routing(
     pi: Sequence[int],
     backend: str = "konig",
     verify: bool = True,
+    sim_backend: str = "reference",
 ) -> RoutingMetrics:
-    """Route ``pi`` with the universal router, simulate, verify, and summarise."""
+    """Route ``pi`` with the universal router, simulate, verify, and summarise.
+
+    ``backend`` selects the edge-colouring backend of the router;
+    ``sim_backend`` selects the simulator backend (``"reference"`` or the
+    vectorized ``"batched"`` engine — see :mod:`repro.pops.engine`).
+    """
     router = PermutationRouter(network, backend=backend, verify=verify)
     plan = router.route(pi)
-    simulator = POPSSimulator(network)
+    simulator = POPSSimulator(network, backend=sim_backend)
     result = simulator.route_and_verify(plan.schedule, plan.packets)
     return RoutingMetrics(
         d=network.d,

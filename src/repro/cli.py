@@ -13,17 +13,27 @@ Run a single experiment::
 Route a named permutation family on a chosen network and show the metrics::
 
     pops-repro route --d 8 --g 4 --family vector_reversal
+
+Route on the vectorized batched simulator backend::
+
+    pops-repro route --d 32 --g 32 --family perfect_shuffle --sim-backend batched
+
+Fan the Theorem 2 sweep across worker processes::
+
+    pops-repro sweep --configs 8:4,16:8,32:32 --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
-from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.analysis.experiments import ALL_EXPERIMENTS, run_parallel_sweep
 from repro.analysis.metrics import measure_routing
 from repro.patterns.families import NAMED_FAMILIES, family_by_name
+from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
 
 __all__ = ["main", "build_parser"]
@@ -62,6 +72,43 @@ def build_parser() -> argparse.ArgumentParser:
         default="konig",
         help="edge-colouring backend for the fair distribution",
     )
+    route.add_argument(
+        "--sim-backend",
+        choices=POPSSimulator.BACKENDS,
+        default="reference",
+        help="simulator backend (batched = vectorized fast path)",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run the Theorem 2 sweep fanned across worker processes",
+    )
+    sweep.add_argument(
+        "--configs",
+        type=_parse_sweep_configs,
+        default=None,
+        help="comma-separated d:g pairs (e.g. 8:4,16:4); default: the E1 sweep",
+    )
+    sweep.add_argument("--trials", type=int, default=3, help="trials per configuration")
+    sweep.add_argument("--seed", type=int, default=2002, help="RNG seed")
+    sweep.add_argument(
+        "--backend",
+        choices=("konig", "euler"),
+        default="konig",
+        help="edge-colouring backend for the fair distribution",
+    )
+    sweep.add_argument(
+        "--sim-backend",
+        choices=POPSSimulator.BACKENDS,
+        default="batched",
+        help="simulator backend (batched = vectorized fast path)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (0 = serial; default: one per core)",
+    )
 
     subparsers.add_parser("list", help="list experiments and permutation families")
     return parser
@@ -84,17 +131,67 @@ def _command_run_all() -> int:
     return status
 
 
-def _command_route(d: int, g: int, family: str, backend: str) -> int:
+def _command_route(
+    d: int, g: int, family: str, backend: str, sim_backend: str = "reference"
+) -> int:
     network = POPSNetwork(d, g)
     pi = family_by_name(family, network.n)
-    metrics = measure_routing(network, pi, backend=backend)
+    metrics = measure_routing(network, pi, backend=backend, sim_backend=sim_backend)
     print(f"network          : POPS(d={d}, g={g}), n={network.n}")
     print(f"family           : {family}")
+    print(f"simulator        : {sim_backend}")
     print(f"slots used       : {metrics.slots}")
     print(f"theorem 2 bound  : {metrics.theorem2_bound}")
     print(f"lower bound      : {metrics.lower_bound}")
     print(f"coupler use/slot : {metrics.mean_coupler_utilisation:.3f}")
     return 0 if metrics.meets_theorem2_bound else 1
+
+
+def _parse_sweep_configs(spec: str) -> list[tuple[int, int]]:
+    """Parse ``"8:4,16:4"`` into [(8, 4), (16, 4)].
+
+    Raises ``argparse.ArgumentTypeError`` on malformed input so argparse
+    reports a clean usage error instead of a traceback.
+    """
+    configs = []
+    for part in spec.split(","):
+        d_text, sep, g_text = part.partition(":")
+        try:
+            if not sep:
+                raise ValueError
+            d, g = int(d_text), int(g_text)
+            if d < 1 or g < 1:
+                raise ValueError
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected comma-separated d:g pairs of positive integers "
+                f"(e.g. 8:4,16:4), got {part!r}"
+            ) from None
+        configs.append((d, g))
+    return configs
+
+
+def _command_sweep(
+    configs: list[tuple[int, int]] | None,
+    trials: int,
+    seed: int,
+    backend: str,
+    sim_backend: str,
+    workers: int | None,
+) -> int:
+    kwargs = {}
+    if configs is not None:
+        kwargs["configs"] = configs
+    result = run_parallel_sweep(
+        trials=trials,
+        seed=seed,
+        backend=backend,
+        sim_backend=sim_backend,
+        max_workers=workers,
+        **kwargs,
+    )
+    print(result.to_report())
+    return 0 if result.all_pass else 1
 
 
 def _command_list() -> int:
@@ -112,14 +209,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "run":
-        return _command_run(args.experiment)
-    if args.command == "run-all":
-        return _command_run_all()
-    if args.command == "route":
-        return _command_route(args.d, args.g, args.family, args.backend)
-    if args.command == "list":
-        return _command_list()
+    try:
+        if args.command == "run":
+            return _command_run(args.experiment)
+        if args.command == "run-all":
+            return _command_run_all()
+        if args.command == "route":
+            return _command_route(
+                args.d, args.g, args.family, args.backend, args.sim_backend
+            )
+        if args.command == "sweep":
+            return _command_sweep(
+                args.configs,
+                args.trials,
+                args.seed,
+                args.backend,
+                args.sim_backend,
+                args.workers,
+            )
+        if args.command == "list":
+            return _command_list()
+    except BrokenPipeError:
+        # Reports are routinely piped into head/less; a closed pipe is not an
+        # error worth a traceback.  Point stdout at devnull so the interpreter
+        # does not fail again flushing on shutdown.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
     parser.error(f"unknown command {args.command!r}")
     return 2
 

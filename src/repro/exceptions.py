@@ -28,6 +28,7 @@ __all__ = [
     "ReceiverConflictError",
     "TransmitterError",
     "DeliveryError",
+    "UnsupportedScheduleError",
 ]
 
 
@@ -109,3 +110,9 @@ class TransmitterError(SimulationError):
 
 class DeliveryError(SimulationError):
     """Raised when, after executing a schedule, packets did not reach their destinations."""
+
+
+class UnsupportedScheduleError(SimulationError):
+    """Raised when a schedule uses features outside a fast-path engine's model
+    (packet duplication via non-consuming sends or multi-reader couplers);
+    callers fall back to the reference simulator."""

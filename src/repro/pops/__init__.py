@@ -16,6 +16,7 @@ from repro.pops.topology import POPSNetwork, Coupler
 from repro.pops.packet import Packet
 from repro.pops.schedule import Transmission, Reception, SlotProgram, RoutingSchedule
 from repro.pops.simulator import POPSSimulator, SimulationResult
+from repro.pops.engine import BatchedSimulator, CompiledSchedule, compile_schedule
 from repro.pops.trace import SlotTrace, SimulationTrace
 from repro.pops.render import (
     render_schedule,
@@ -38,6 +39,9 @@ __all__ = [
     "RoutingSchedule",
     "POPSSimulator",
     "SimulationResult",
+    "BatchedSimulator",
+    "CompiledSchedule",
+    "compile_schedule",
     "SlotTrace",
     "SimulationTrace",
 ]

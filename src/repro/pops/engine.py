@@ -1,0 +1,559 @@
+"""Batched fast-path execution of routing schedules.
+
+:class:`~repro.pops.simulator.POPSSimulator` executes one Python
+``Transmission``/``Reception`` object at a time, which caps the network sizes
+experiments can explore.  This module exploits a structural property of the
+POPS slot model: the *dataflow* of a schedule is entirely static.  Which
+coupler carries which packet, which reception resolves to which delivery, and
+which packets leave their sender are all functions of the schedule alone — the
+only thing that depends on execution state is whether each sender actually
+holds the packet it drives.
+
+:func:`compile_schedule` therefore lowers a
+:class:`~repro.pops.schedule.RoutingSchedule` once into flat integer arrays
+(CSR-style, one segment per slot), performing every static check (wiring,
+coupler conflicts, receiver conflicts) vectorized, and
+:class:`BatchedSimulator` executes a slot as three numpy operations: one
+comparison for the dynamic buffer-ownership check and two scatters for the
+buffer commit.  Buffers are a single packet-location array ``loc`` with
+``loc[k]`` the processor currently holding packet ``k`` (or ``-1`` when the
+packet was consumed without being read).
+
+The engine covers the consume-and-deliver model used by permutation routing.
+Schedules that *duplicate* packets — non-consuming (broadcast-style) sends, or
+several processors reading the same coupler in one slot — cannot be expressed
+in a flat location array and raise
+:class:`~repro.exceptions.UnsupportedScheduleError` at compile time;
+``POPSSimulator(backend="batched")`` catches that and falls back to the
+reference implementation, so the switch is always safe to flip.
+
+Error parity with the reference simulator: static violations are raised before
+execution (the reference calls ``schedule.validate()`` up front, and the
+engine re-runs it on the slow path to reproduce the exact exception), and the
+two dynamic errors — a sender not holding its packet, a strict read of an idle
+coupler — are raised at the same slot, for the same offender, with the same
+message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import (
+    SimulationError,
+    UnsupportedScheduleError,
+)
+from repro.pops.packet import Packet
+from repro.pops.schedule import RoutingSchedule
+from repro.pops.topology import Coupler, POPSNetwork
+from repro.pops.trace import SimulationTrace, SlotTrace
+
+__all__ = ["CompiledSchedule", "BatchedSimulator", "compile_schedule"]
+
+
+@dataclass
+class CompiledSchedule:
+    """A routing schedule lowered to flat integer arrays.
+
+    All arrays are concatenated over slots; ``*_ptr`` arrays hold the slot
+    boundaries (``xs[ptr[s]:ptr[s + 1]]`` is slot ``s``'s segment), so one
+    compiled schedule drives the whole run without touching Python objects.
+
+    Attributes
+    ----------
+    network:
+        The network the schedule targets.
+    packets:
+        The packet universe; array entries index into this list.
+    tx_sender / tx_packet / tx_ptr:
+        Per-slot transmissions, for the dynamic ownership check.
+    pay_coupler / pay_packet / pay_ptr:
+        Per-slot coupler payloads (first transmission per driven coupler, in
+        schedule order) — the static part of the trace.
+    del_receiver / del_packet / del_ptr:
+        Per-slot deliveries (receptions joined with payloads, idle reads
+        dropped) in reception order.
+    con_packet / con_ptr:
+        Per-slot packets consumed (each sent packet leaves its sender).
+    idle_receiver / idle_coupler:
+        Per slot, the first reception of an idle coupler (``-1`` when none);
+        strict runs abort there.
+    initial_loc:
+        Starting processor of every packet in the universe (``-1``: nowhere).
+    pk_destination:
+        Destination of every packet, for vectorized delivery verification.
+    """
+
+    network: POPSNetwork
+    packets: list[Packet]
+    n_slots: int
+    tx_sender: np.ndarray
+    tx_packet: np.ndarray
+    tx_ptr: np.ndarray
+    pay_coupler: np.ndarray
+    pay_packet: np.ndarray
+    pay_ptr: np.ndarray
+    del_receiver: np.ndarray
+    del_packet: np.ndarray
+    del_ptr: np.ndarray
+    con_packet: np.ndarray
+    con_ptr: np.ndarray
+    idle_receiver: np.ndarray
+    idle_coupler: np.ndarray
+    initial_loc: np.ndarray
+    pk_destination: np.ndarray
+
+    @property
+    def n_transmissions(self) -> int:
+        """Total transmissions across all slots."""
+        return int(self.tx_sender.shape[0])
+
+
+def _packet_universe(
+    network: POPSNetwork,
+    packets: list[Packet],
+    initial_buffers: dict[int, list[Packet]] | None,
+) -> tuple[list[Packet], np.ndarray]:
+    """The indexable packet list and initial location of every packet."""
+    if initial_buffers is not None:
+        universe = []
+        locations_l: list[int] = []
+        seen: set[Packet] = set()
+        for processor in sorted(initial_buffers):
+            for packet in initial_buffers[processor]:
+                if packet in seen:
+                    raise UnsupportedScheduleError(
+                        f"{packet!r} appears in more than one initial buffer; "
+                        "the batched engine tracks a single location per packet"
+                    )
+                seen.add(packet)
+                universe.append(packet)
+                locations_l.append(processor)
+        return universe, np.array(locations_l, dtype=np.int64)
+
+    universe = list(packets)
+    locations = np.array([p.source for p in universe], dtype=np.int64)
+    bad = np.flatnonzero((locations < 0) | (locations >= network.n))
+    if bad.size:
+        raise SimulationError(
+            f"{universe[int(bad[0])]!r} has source outside the network of size "
+            f"{network.n}"
+        )
+    return universe, locations
+
+
+def _resolve_packet_indices(
+    network: POPSNetwork,
+    universe: list[Packet],
+    initial_loc: np.ndarray,
+    pk_destination: np.ndarray,
+    schedule_packets: list[Packet],
+) -> tuple[np.ndarray, list[Packet], np.ndarray, np.ndarray]:
+    """Map every transmitted packet to its universe index by value.
+
+    The fast path indexes the universe by packet *source* — valid whenever
+    sources are unique, which covers every permutation-routing workload — and
+    never hashes a ``Packet``.  Duplicated sources, or schedule packets absent
+    from the universe, fall back to a dict keyed by packet value; unknown
+    packets are registered with no location so the dynamic ownership check
+    fails at the right slot with the reference error message.
+
+    Returns the index array plus the (possibly extended) universe, locations
+    and destination arrays.
+    """
+    n_tx = len(schedule_packets)
+    u_size = len(universe)
+    pk_source = np.array([p.source for p in universe], dtype=np.int64)
+    sources_unique = bool(((pk_source >= 0) & (pk_source < network.n)).all())
+    if sources_unique:
+        src_to_idx = np.full(network.n, -1, dtype=np.int64)
+        src_to_idx[pk_source] = np.arange(u_size, dtype=np.int64)
+        # Scatter-then-gather equals arange iff no source was written twice.
+        sources_unique = bool(
+            (src_to_idx[pk_source] == np.arange(u_size, dtype=np.int64)).all()
+        )
+    if sources_unique and n_tx and u_size:
+        t_src = np.array([p.source for p in schedule_packets], dtype=np.int64)
+        t_dst = np.array(
+            [p.destination for p in schedule_packets], dtype=np.int64
+        )
+        in_range = (t_src >= 0) & (t_src < network.n)
+        idx = np.where(in_range, src_to_idx[np.clip(t_src, 0, network.n - 1)], -1)
+        known = (idx >= 0) & (pk_destination[np.maximum(idx, 0)] == t_dst)
+        if known.all():
+            return idx, universe, initial_loc, pk_destination
+    else:
+        known = np.zeros(n_tx, dtype=bool)
+        idx = np.full(n_tx, -1, dtype=np.int64)
+
+    # Slow path: hash-based resolution (duplicate sources / unknown packets).
+    index_of: dict[Packet, int] = {}
+    for i, packet in enumerate(universe):
+        index_of.setdefault(packet, i)
+    extra_loc: list[int] = []
+    for i in np.flatnonzero(~known):
+        packet = schedule_packets[i]
+        j = index_of.get(packet)
+        if j is None:
+            j = len(universe)
+            index_of[packet] = j
+            universe.append(packet)
+            extra_loc.append(-1)
+        idx[i] = j
+    if extra_loc:
+        extra = np.array(extra_loc, dtype=np.int64)
+        initial_loc = np.concatenate((initial_loc, extra))
+        pk_destination = np.concatenate(
+            (
+                pk_destination,
+                np.array(
+                    [p.destination for p in universe[u_size:]], dtype=np.int64
+                ),
+            )
+        )
+    return idx, universe, initial_loc, pk_destination
+
+
+def _group_firsts(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stable group-by on integer keys.
+
+    Returns ``(order, same, new_group)`` where ``order`` sorts ``keys``
+    stably, ``same[i]`` marks ``keys[order][i + 1] == keys[order][i]``, and
+    ``new_group`` flags the first (earliest, thanks to stability) element of
+    each key group within the sorted view.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    same = sorted_keys[1:] == sorted_keys[:-1]
+    new_group = np.empty(keys.size, dtype=bool)
+    if keys.size:
+        new_group[0] = True
+        new_group[1:] = ~same
+    return order, same, new_group
+
+
+def compile_schedule(
+    network: POPSNetwork,
+    schedule: RoutingSchedule,
+    packets: list[Packet],
+    initial_buffers: dict[int, list[Packet]] | None = None,
+) -> CompiledSchedule:
+    """Lower ``schedule`` to integer arrays, raising any static violation.
+
+    Raises
+    ------
+    SimulationError
+        (or a subclass) exactly as ``schedule.validate()`` would for static
+        violations, at compile time rather than slot by slot.
+    UnsupportedScheduleError
+        If the schedule duplicates packets (non-consuming sends, multi-reader
+        couplers) and therefore cannot run on a flat location array.
+    """
+    if schedule.network != network:
+        raise SimulationError(
+            f"schedule targets {schedule.network!r}, simulator holds {network!r}"
+        )
+    g = network.g
+    g2 = g * g
+    universe, initial_loc = _packet_universe(network, packets, initial_buffers)
+    pk_destination = np.array([p.destination for p in universe], dtype=np.int64)
+
+    # -- flatten to integer arrays (the only per-object Python loops) ----------
+    all_tx = [t for slot in schedule.slots for t in slot.transmissions]
+    all_rx = [r for slot in schedule.slots for r in slot.receptions]
+    tx_counts = [len(slot.transmissions) for slot in schedule.slots]
+    rx_counts = [len(slot.receptions) for slot in schedule.slots]
+    if not all([t.consume for t in all_tx]):
+        raise UnsupportedScheduleError(
+            "non-consuming (broadcast-style) transmissions duplicate packets; "
+            "use the reference simulator"
+        )
+    tx_packet, universe, initial_loc, pk_destination = _resolve_packet_indices(
+        network, universe, initial_loc, pk_destination,
+        [t.packet for t in all_tx],
+    )
+
+    n_tx, n_rx = len(all_tx), len(all_rx)
+    n_slots = len(schedule.slots)
+    tx_sender = np.array([t.sender for t in all_tx], dtype=np.int64)
+    tx_couplers = [t.coupler for t in all_tx]
+    tx_dest = np.array([c.dest_group for c in tx_couplers], dtype=np.int64)
+    tx_src = np.array([c.source_group for c in tx_couplers], dtype=np.int64)
+    tx_ptr = np.concatenate(([0], np.cumsum(tx_counts, dtype=np.int64)))
+    rx_receiver = np.array([r.receiver for r in all_rx], dtype=np.int64)
+    rx_couplers = [r.coupler for r in all_rx]
+    rx_dest = np.array([c.dest_group for c in rx_couplers], dtype=np.int64)
+    rx_src = np.array([c.source_group for c in rx_couplers], dtype=np.int64)
+    rx_ptr = np.concatenate(([0], np.cumsum(rx_counts, dtype=np.int64)))
+    tx_slot = np.repeat(np.arange(n_slots, dtype=np.int64), tx_counts)
+    rx_slot = np.repeat(np.arange(n_slots, dtype=np.int64), rx_counts)
+
+    tx_coupler = tx_dest * g + tx_src
+    rx_coupler = rx_dest * g + rx_src
+    u_size = len(universe)
+
+    # One shared stable group-by over (slot, coupler): it powers both the
+    # coupler-conflict checks and the payload dedup below.
+    tx_key = tx_slot * g2 + tx_coupler
+    c_order, c_same, c_new = _group_firsts(tx_key)
+
+    # -- static validation (vectorized; slow path reproduces the exact error) --
+    n, d = network.n, network.d
+    static_bad = False
+    if n_tx:
+        static_bad = (
+            bool(((tx_sender < 0) | (tx_sender >= n)).any())
+            or bool(
+                ((tx_dest < 0) | (tx_dest >= g) | (tx_src < 0) | (tx_src >= g)).any()
+            )
+            or bool((tx_sender // d != tx_src).any())
+            # Same coupler driven twice in a slot: sender and packet must agree.
+            or bool((c_same & (tx_sender[c_order][1:] != tx_sender[c_order][:-1])).any())
+            or bool((c_same & (tx_packet[c_order][1:] != tx_packet[c_order][:-1])).any())
+        )
+        if not static_bad:
+            # One packet per sender per slot (broadcasting one packet through
+            # several transmitters is legal, two different packets is not).
+            s_order, s_same, _ = _group_firsts(tx_slot * n + tx_sender)
+            static_bad = bool(
+                (s_same & (tx_packet[s_order][1:] != tx_packet[s_order][:-1])).any()
+            )
+    if not static_bad and n_rx:
+        receiver_key = np.sort(rx_slot * n + rx_receiver)
+        static_bad = (
+            bool(((rx_receiver < 0) | (rx_receiver >= n)).any())
+            or bool(
+                ((rx_dest < 0) | (rx_dest >= g) | (rx_src < 0) | (rx_src >= g)).any()
+            )
+            or bool((rx_receiver // d != rx_dest).any())
+            or bool((receiver_key[1:] == receiver_key[:-1]).any())
+        )
+    if static_bad:
+        schedule.validate()  # raises the same exception the reference would
+        raise SimulationError(
+            "batched engine rejected the schedule but schedule.validate() "
+            "accepted it; please report this divergence"
+        )
+
+    # -- static dataflow, fully vectorized across slots ------------------------
+    # Payloads: first transmission per (slot, coupler), in schedule order.
+    first_by_key = c_order[c_new]
+    uniq_key = tx_key[c_order][c_new]
+    first = np.sort(first_by_key)
+    pay_coupler = tx_coupler[first]
+    pay_packet = tx_packet[first]
+    pay_counts = np.bincount(tx_slot[first], minlength=n_slots)
+
+    # Consumed: each packet sent in a slot leaves its sender once.
+    p_order, _, p_new = _group_firsts(tx_slot * max(u_size, 1) + tx_packet)
+    con_first = np.sort(p_order[p_new])
+    con_packet = tx_packet[con_first]
+    con_counts = np.bincount(tx_slot[con_first], minlength=n_slots)
+
+    # Deliveries: join receptions against payloads on the (slot, coupler) key.
+    rx_key = rx_slot * g2 + rx_coupler
+    pos = np.searchsorted(uniq_key, rx_key)
+    live = np.zeros(n_rx, dtype=bool)
+    in_bounds = pos < uniq_key.size
+    live[in_bounds] = uniq_key[pos[in_bounds]] == rx_key[in_bounds]
+    live_idx = np.flatnonzero(live)
+    del_receiver = rx_receiver[live_idx]
+    del_packet = tx_packet[first_by_key][pos[live_idx]]
+    del_counts = np.bincount(rx_slot[live_idx], minlength=n_slots)
+
+    # Idle reads: first reception of an undriven coupler per slot.
+    idle_receiver = np.full(n_slots, -1, dtype=np.int64)
+    idle_coupler = np.full(n_slots, -1, dtype=np.int64)
+    idle_idx = np.flatnonzero(~live)
+    if idle_idx.size:
+        idle_slots, idle_first = np.unique(rx_slot[idle_idx], return_index=True)
+        idle_receiver[idle_slots] = rx_receiver[idle_idx[idle_first]]
+        idle_coupler[idle_slots] = rx_coupler[idle_idx[idle_first]]
+
+    # A packet read by several receivers in one slot would be duplicated.
+    del_key = np.sort(rx_slot[live_idx] * max(u_size, 1) + del_packet)
+    dup = np.flatnonzero(del_key[1:] == del_key[:-1])
+    if dup.size:
+        raise UnsupportedScheduleError(
+            f"slot {int(del_key[dup[0]] // max(u_size, 1))}: a packet is read "
+            "by several receivers, which duplicates it; use the reference "
+            "simulator"
+        )
+
+    return CompiledSchedule(
+        network=network,
+        packets=universe,
+        n_slots=n_slots,
+        tx_sender=tx_sender,
+        tx_packet=tx_packet,
+        tx_ptr=tx_ptr,
+        pay_coupler=pay_coupler,
+        pay_packet=pay_packet,
+        pay_ptr=np.concatenate(([0], np.cumsum(pay_counts, dtype=np.int64))),
+        del_receiver=del_receiver,
+        del_packet=del_packet,
+        del_ptr=np.concatenate(([0], np.cumsum(del_counts, dtype=np.int64))),
+        con_packet=con_packet,
+        con_ptr=np.concatenate(([0], np.cumsum(con_counts, dtype=np.int64))),
+        idle_receiver=idle_receiver,
+        idle_coupler=idle_coupler,
+        initial_loc=initial_loc,
+        pk_destination=pk_destination,
+    )
+
+
+class BatchedSimulator:
+    """Vectorized slot-model executor, trace-equivalent to the reference.
+
+    Parameters
+    ----------
+    network:
+        The POPS(d, g) network to simulate.
+    strict_receptions:
+        Same contract as :class:`~repro.pops.simulator.POPSSimulator`: a read
+        of an idle coupler raises :class:`SimulationError` when ``True`` and
+        silently yields nothing when ``False``.
+    """
+
+    def __init__(self, network: POPSNetwork, strict_receptions: bool = True):
+        self.network = network
+        self.strict_receptions = strict_receptions
+
+    def compile(
+        self,
+        schedule: RoutingSchedule,
+        packets: list[Packet],
+        initial_buffers: dict[int, list[Packet]] | None = None,
+    ) -> CompiledSchedule:
+        """Lower ``schedule`` once; the result can be executed repeatedly."""
+        return compile_schedule(self.network, schedule, packets, initial_buffers)
+
+    def execute(self, compiled: CompiledSchedule) -> np.ndarray:
+        """Run a compiled schedule, returning the final packet-location array."""
+        loc = compiled.initial_loc.copy()
+        packets = compiled.packets
+        tx_ptr, del_ptr, con_ptr = compiled.tx_ptr, compiled.del_ptr, compiled.con_ptr
+        strict = self.strict_receptions
+        for s in range(compiled.n_slots):
+            senders = compiled.tx_sender[tx_ptr[s]:tx_ptr[s + 1]]
+            sent = compiled.tx_packet[tx_ptr[s]:tx_ptr[s + 1]]
+            held = loc[sent] == senders
+            if not held.all():
+                i = int(np.argmin(held))
+                raise SimulationError(
+                    f"slot {s}: processor {senders[i]} does not hold "
+                    f"{packets[sent[i]]!r}"
+                )
+            if strict and compiled.idle_receiver[s] >= 0:
+                cid = int(compiled.idle_coupler[s])
+                coupler = Coupler(cid // self.network.g, cid % self.network.g)
+                raise SimulationError(
+                    f"slot {s}: processor {compiled.idle_receiver[s]} reads "
+                    f"idle {coupler!r}"
+                )
+            loc[compiled.con_packet[con_ptr[s]:con_ptr[s + 1]]] = -1
+            loc[compiled.del_packet[del_ptr[s]:del_ptr[s + 1]]] = (
+                compiled.del_receiver[del_ptr[s]:del_ptr[s + 1]]
+            )
+        return loc
+
+    def verify_locations(self, compiled: CompiledSchedule, loc: np.ndarray) -> None:
+        """Vectorized delivery check: every packet sits at its destination.
+
+        Equivalent to
+        :meth:`~repro.pops.simulator.SimulationResult.verify_permutation_delivery`
+        over the whole packet universe, without building buffer dicts.
+        """
+        from repro.exceptions import DeliveryError
+
+        misplaced = np.flatnonzero(loc != compiled.pk_destination)
+        if misplaced.size:
+            i = int(misplaced[0])
+            packet = compiled.packets[i]
+            where = [int(loc[i])] if loc[i] >= 0 else []
+            raise DeliveryError(
+                f"{packet!r} should end at processor {packet.destination}, "
+                f"found at {where}"
+            )
+
+    def buffers_from_locations(
+        self, compiled: CompiledSchedule, loc: np.ndarray
+    ) -> dict[int, list[Packet]]:
+        """Reconstruct ``processor -> packets held`` from a location array.
+
+        Within a buffer, packets appear in universe order (the reference
+        simulator preserves arrival order instead; compare as multisets).
+        """
+        buffers: dict[int, list[Packet]] = {
+            p: [] for p in self.network.processors()
+        }
+        for idx in np.flatnonzero(loc >= 0):
+            buffers[int(loc[idx])].append(compiled.packets[idx])
+        return buffers
+
+    def trace_from_compiled(self, compiled: CompiledSchedule) -> SimulationTrace:
+        """Materialize the (static) per-slot trace of a compiled schedule."""
+        g = self.network.g
+        couplers = [Coupler(cid // g, cid % g) for cid in range(g * g)]
+        packets = compiled.packets
+        trace = SimulationTrace()
+        pay_ptr, del_ptr = compiled.pay_ptr, compiled.del_ptr
+        for s in range(compiled.n_slots):
+            payloads = {
+                couplers[c]: packets[p]
+                for c, p in zip(
+                    compiled.pay_coupler[pay_ptr[s]:pay_ptr[s + 1]],
+                    compiled.pay_packet[pay_ptr[s]:pay_ptr[s + 1]],
+                )
+            }
+            deliveries = [
+                (int(r), packets[p])
+                for r, p in zip(
+                    compiled.del_receiver[del_ptr[s]:del_ptr[s + 1]],
+                    compiled.del_packet[del_ptr[s]:del_ptr[s + 1]],
+                )
+            ]
+            trace.slots.append(
+                SlotTrace(
+                    slot_index=s,
+                    coupler_payloads=payloads,
+                    deliveries=deliveries,
+                )
+            )
+        return trace
+
+    def run(
+        self,
+        schedule: RoutingSchedule,
+        packets: list[Packet],
+        initial_buffers: dict[int, list[Packet]] | None = None,
+        collect_trace: bool = True,
+    ):
+        """Compile and execute ``schedule``, packaging a ``SimulationResult``.
+
+        With ``collect_trace=False`` the result's trace is left empty (use
+        :meth:`execute` / :meth:`verify_locations` directly for the leanest
+        fast path; the compiled schedule retains all per-slot statistics).
+        """
+        from repro.pops.simulator import SimulationResult
+
+        compiled = self.compile(schedule, packets, initial_buffers)
+        loc = self.execute(compiled)
+        trace = (
+            self.trace_from_compiled(compiled)
+            if collect_trace
+            else SimulationTrace()
+        )
+        return SimulationResult(
+            network=self.network,
+            buffers=self.buffers_from_locations(compiled, loc),
+            trace=trace,
+        )
+
+    def route_and_verify(self, schedule: RoutingSchedule, packets: list[Packet]):
+        """Run ``schedule`` and assert every packet reached its destination."""
+        result = self.run(schedule, packets)
+        result.verify_permutation_delivery(packets)
+        return result

@@ -21,11 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import (
+    ConfigurationError,
     CouplerConflictError,
     DeliveryError,
     ReceiverConflictError,
     SimulationError,
     TransmitterError,
+    UnsupportedScheduleError,
 )
 from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule, SlotProgram
@@ -76,8 +78,14 @@ class SimulationResult:
             If a packet is missing from its destination, present elsewhere, or
             duplicated.
         """
+        holders_of: dict[Packet, list[int]] = {}
+        for processor, held in self.buffers.items():
+            for packet in held:
+                holders = holders_of.setdefault(packet, [])
+                if not holders or holders[-1] != processor:
+                    holders.append(processor)
         for packet in packets:
-            holders = self.holder_of(packet)
+            holders = holders_of.get(packet, [])
             if holders != [packet.destination]:
                 raise DeliveryError(
                     f"{packet!r} should end at processor {packet.destination}, "
@@ -88,8 +96,9 @@ class SimulationResult:
             expected_counts[packet.destination] = (
                 expected_counts.get(packet.destination, 0) + 1
             )
+        packet_set = set(packets)
         for processor, held in self.buffers.items():
-            routed_here = [p for p in held if p in set(packets)]
+            routed_here = [p for p in held if p in packet_set]
             if len(routed_here) != expected_counts.get(processor, 0):
                 raise DeliveryError(
                     f"processor {processor} holds {len(routed_here)} routed packets, "
@@ -109,11 +118,31 @@ class POPSSimulator:
         packet is treated as a schedule bug and raises
         :class:`SimulationError`; when ``False`` the read silently yields
         nothing (useful for hand-written experimental schedules).
+    backend:
+        ``"reference"`` (default) executes transmissions one Python object at
+        a time with full dynamic checking; ``"batched"`` lowers the schedule
+        to integer arrays and executes each slot as vectorized numpy
+        operations (see :mod:`repro.pops.engine`), falling back to the
+        reference path for schedules the fast path cannot express
+        (packet-duplicating broadcasts).  Both backends produce equivalent
+        results and traces; buffer ordering within a processor may differ.
     """
 
-    def __init__(self, network: POPSNetwork, strict_receptions: bool = True):
+    BACKENDS = ("reference", "batched")
+
+    def __init__(
+        self,
+        network: POPSNetwork,
+        strict_receptions: bool = True,
+        backend: str = "reference",
+    ):
+        if backend not in self.BACKENDS:
+            raise ConfigurationError(
+                f"unknown simulator backend {backend!r}; expected one of {self.BACKENDS}"
+            )
         self.network = network
         self.strict_receptions = strict_receptions
+        self.backend = backend
 
     # -- initial placement ------------------------------------------------------
 
@@ -145,6 +174,15 @@ class POPSSimulator:
             raise SimulationError(
                 f"schedule targets {schedule.network!r}, simulator holds {self.network!r}"
             )
+        if self.backend == "batched":
+            from repro.pops.engine import BatchedSimulator
+
+            try:
+                return BatchedSimulator(self.network, self.strict_receptions).run(
+                    schedule, packets, initial_buffers
+                )
+            except UnsupportedScheduleError:
+                pass  # schedule duplicates packets: reference path below
         schedule.validate()
         buffers = (
             {proc: list(held) for proc, held in initial_buffers.items()}
@@ -164,6 +202,11 @@ class POPSSimulator:
         payloads: dict[Coupler, Packet] = {}
         senders: dict[Coupler, int] = {}
         consumed: list[tuple[int, Packet]] = []
+        consumed_seen: set[tuple[int, int]] = set()
+        # Schedules reference packets by identity (source, destination); index
+        # each touched buffer once so resolving to the buffered instance (which
+        # carries the payload) is O(1) per transmission instead of a list scan.
+        buffer_index: dict[int, dict[Packet, Packet]] = {}
         for transmission in slot.transmissions:
             sender = transmission.sender
             coupler = transmission.coupler
@@ -177,17 +220,21 @@ class POPSSimulator:
                     f"slot {slot_index}: {coupler!r} driven by processors "
                     f"{senders[coupler]} and {sender}"
                 )
-            # Schedules reference packets by identity (source, destination);
-            # resolve to the buffered instance so payloads travel with them.
-            try:
-                buffered = buffers[sender][buffers[sender].index(packet)]
-            except ValueError:
+            index = buffer_index.get(sender)
+            if index is None:
+                index = {}
+                for held in buffers[sender]:
+                    index.setdefault(held, held)
+                buffer_index[sender] = index
+            buffered = index.get(packet)
+            if buffered is None:
                 raise SimulationError(
                     f"slot {slot_index}: processor {sender} does not hold {packet!r}"
-                ) from None
+                )
             payloads[coupler] = buffered
             senders[coupler] = sender
-            if transmission.consume and (sender, buffered) not in consumed:
+            if transmission.consume and (sender, id(buffered)) not in consumed_seen:
+                consumed_seen.add((sender, id(buffered)))
                 consumed.append((sender, buffered))
 
         # Phase 2: all reads happen simultaneously.

@@ -11,6 +11,7 @@ from repro.analysis.experiments import (
     run_lower_bound_experiment,
     run_one_slot_fraction,
     run_scaling_experiment,
+    run_parallel_sweep,
     run_theorem2_sweep,
     run_unification_experiment,
 )
@@ -124,8 +125,33 @@ class TestExperimentRunners:
         d1_row = next(row for row in result.rows if row[0] == 1)
         assert d1_row[5] == 1.0  # every permutation is one-slot routable when d = 1
 
-    def test_registry_contains_all_eight(self):
-        assert sorted(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 9)]
+    def test_registry_contains_all_experiments(self):
+        assert sorted(ALL_EXPERIMENTS) == sorted(
+            [f"E{i}" for i in range(1, 9)] + ["E1p"]
+        )
+
+    def test_e1_batched_backend_matches(self):
+        configs = ((2, 2), (3, 2), (2, 3))
+        reference = run_theorem2_sweep(configs=configs, trials=2, seed=1)
+        batched = run_theorem2_sweep(
+            configs=configs, trials=2, seed=1, sim_backend="batched"
+        )
+        assert batched.all_pass
+        assert batched.rows == reference.rows
+
+    def test_parallel_sweep_serial_fallback(self):
+        result = run_parallel_sweep(
+            configs=((2, 2), (3, 2)), trials=1, seed=1, max_workers=0
+        )
+        assert result.all_pass
+        assert len(result.rows) == 2
+        # Serial execution is row-for-row identical to the fanned-out sweep.
+        assert (
+            result.rows
+            == run_parallel_sweep(
+                configs=((2, 2), (3, 2)), trials=1, seed=1, max_workers=None
+            ).rows
+        )
 
     def test_report_rendering(self):
         result = run_theorem2_sweep(configs=((2, 2),), trials=1, seed=0)

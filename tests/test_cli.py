@@ -24,6 +24,19 @@ class TestParser:
         args = build_parser().parse_args(["route", "--d", "2", "--g", "3"])
         assert args.family == "vector_reversal"
         assert args.backend == "konig"
+        assert args.sim_backend == "reference"
+
+    def test_route_rejects_unknown_sim_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["route", "--d", "2", "--g", "3", "--sim-backend", "quantum"]
+            )
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.sim_backend == "batched"
+        assert args.workers is None
+        assert args.configs is None
 
 
 class TestCommands:
@@ -40,6 +53,21 @@ class TestCommands:
     def test_route_command_euler_backend(self, capsys):
         assert main(["route", "--d", "2", "--g", "4", "--backend", "euler"]) == 0
         assert "theorem 2 bound" in capsys.readouterr().out
+
+    def test_route_command_batched_backend(self, capsys):
+        assert main(
+            ["route", "--d", "4", "--g", "4", "--sim-backend", "batched"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "simulator        : batched" in output
+        assert "slots used       : 2" in output
+
+    def test_sweep_command_serial(self, capsys):
+        assert main(
+            ["sweep", "--configs", "2:2,3:2", "--trials", "1", "--workers", "0"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "worker processes" in output
 
     def test_run_single_experiment(self, capsys):
         assert main(["run", "E2"]) == 0
