@@ -16,8 +16,6 @@ POPS(d, g).  Both are reproduced here on top of the universal router:
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
 import numpy as np
 
 from repro.algorithms.exchange import PermutationEngine

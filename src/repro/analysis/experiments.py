@@ -13,7 +13,6 @@ they double as integration tests.
 
 from __future__ import annotations
 
-import random
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -40,15 +39,14 @@ from repro.patterns.families import (
     vector_reversal,
 )
 from repro.patterns.generators import PermutationGenerator
+from repro.pops.engine import schedule_cache
 from repro.pops.packet import Packet
 from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
-from repro.routing.baselines.blocked import BlockedPermutationRouter
 from repro.routing.baselines.direct import DirectRouter
 from repro.routing.fair_distribution import FairDistributionSolver
 from repro.routing.list_system import ListSystem
 from repro.routing.lower_bounds import (
-    is_group_blocked,
     proposition1_lower_bound,
     proposition2_lower_bound,
     proposition3_lower_bound,
@@ -122,24 +120,70 @@ class ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def _theorem2_config_row(
-    task: tuple[int, int, int, int, str, str],
-) -> list[Any]:
-    """One (d, g) row of the Theorem 2 sweep; top-level so workers can pickle it."""
-    d, g, trials, seed, backend, sim_backend = task
-    rng = resolve_rng(seed)
+def _trial_seeds(config_seed: int, trials: int) -> list[int]:
+    """Deterministic per-trial seeds for one (d, g) configuration.
+
+    Every trial gets its own seed derived from the configuration seed, so a
+    contiguous shard of trials can run in any worker process and still sample
+    exactly the permutations the unsharded run would: sharded and unsharded
+    sweeps are bit-for-bit identical given the same top-level seed.
+    """
+    rng = resolve_rng(config_seed)
+    return [rng.randrange(2**31) for _ in range(trials)]
+
+
+def _theorem2_shard(
+    task: tuple[int, int, tuple[int, ...], str, str],
+) -> tuple[list[int], bool, int, int]:
+    """Run one shard (an explicit list of trial seeds) of a (d, g) configuration.
+
+    Top-level so process-pool workers can pickle it.  Returns the sorted slot
+    counts seen, the AND of the per-trial bound checks, and the shard's
+    schedule-cache hit/miss deltas (each worker process owns its own cache).
+    """
+    d, g, trial_seeds, backend, sim_backend = task
     network = POPSNetwork(d, g)
-    bound = theorem2_slot_bound(d, g)
+    cache = schedule_cache()
+    hits0, misses0 = cache.hits, cache.misses
     slots_seen: set[int] = set()
     verified = True
-    for _ in range(trials):
-        pi = random_permutation(network.n, rng)
+    for trial_seed in trial_seeds:
+        pi = random_permutation(network.n, resolve_rng(trial_seed))
         metrics = measure_routing(
             network, pi, backend=backend, sim_backend=sim_backend
         )
         slots_seen.add(metrics.slots)
         verified = verified and metrics.meets_theorem2_bound
-    return [d, g, network.n, bound, min(slots_seen), max(slots_seen), verified]
+    return (
+        sorted(slots_seen),
+        verified,
+        cache.hits - hits0,
+        cache.misses - misses0,
+    )
+
+
+def _sweep_row(d: int, g: int, slots_seen: set[int], verified: bool) -> list[Any]:
+    """One E1/E1p result row; the single source of the sweep row schema."""
+    return [
+        d,
+        g,
+        d * g,
+        theorem2_slot_bound(d, g),
+        min(slots_seen),
+        max(slots_seen),
+        verified,
+    ]
+
+
+def _theorem2_config_row(
+    task: tuple[int, int, int, int, str, str],
+) -> list[Any]:
+    """One (d, g) row of the Theorem 2 sweep; top-level so workers can pickle it."""
+    d, g, trials, seed, backend, sim_backend = task
+    slots_seen, verified, _, _ = _theorem2_shard(
+        (d, g, tuple(_trial_seeds(seed, trials)), backend, sim_backend)
+    )
+    return _sweep_row(d, g, set(slots_seen), verified)
 
 
 def run_theorem2_sweep(
@@ -154,6 +198,8 @@ def run_theorem2_sweep(
     Every routing is executed on the simulator (``sim_backend`` selects the
     reference or batched engine) and verified for delivery.
     """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
     rng = resolve_rng(seed)
     rows: list[list[Any]] = []
     for d, g in configs:
@@ -183,44 +229,86 @@ def run_parallel_sweep(
     backend: str = "konig",
     sim_backend: str = "batched",
     max_workers: int | None = None,
+    shard_trials: int | None = None,
+    cache_stats: bool = False,
 ) -> ExperimentResult:
-    """Theorem 2 sweep with the (d, g) configurations fanned across processes.
+    """Theorem 2 sweep fanned across processes, optionally sharding trials.
 
-    Each configuration routes, simulates and verifies independently, so the
-    sweep parallelises perfectly; the batched simulator backend is the default
-    because large configurations are simulation-bound.  ``max_workers=0`` (or
-    a single configuration) runs serially in-process, which is also the
-    fallback when the platform cannot spawn worker processes.
+    By default each (d, g) configuration is one unit of work.  With
+    ``shard_trials=k`` every configuration's trials are additionally split
+    into shards of at most ``k`` trials, each shard an independent task with
+    deterministically derived per-trial seeds — so a *single* huge
+    configuration (n in the tens of thousands) saturates all cores instead of
+    one, and the merged result is bit-for-bit identical to the unsharded run
+    with the same seed.  ``max_workers=0`` (or a single task) runs serially
+    in-process, which is also the fallback when the platform cannot spawn
+    worker processes.  ``cache_stats=True`` aggregates the workers'
+    compiled-schedule-cache counters into the report notes.
     """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if shard_trials is not None and shard_trials < 1:
+        raise ValueError(f"shard_trials must be positive, got {shard_trials}")
     rng = resolve_rng(seed)
-    tasks = [
-        (d, g, trials, rng.randrange(2**31), backend, sim_backend)
-        for d, g in configs
-    ]
-    rows: list[list[Any]] | None = None
+    config_seeds = [rng.randrange(2**31) for _ in configs]
+    shard = trials if shard_trials is None else min(shard_trials, trials)
+    tasks = []
+    task_config: list[int] = []  # task index -> config index
+    for ci, (d, g) in enumerate(configs):
+        # Per-trial seeds are derived once per configuration and sliced into
+        # shards, so sharding adds no redundant seed derivation and any shard
+        # can run in any worker with bit-identical results.
+        trial_seeds = _trial_seeds(config_seeds[ci], trials)
+        for lo in range(0, trials, shard):
+            chunk = tuple(trial_seeds[lo:lo + shard])
+            tasks.append((d, g, chunk, backend, sim_backend))
+            task_config.append(ci)
+
+    shards: list[tuple[list[int], bool, int, int]] | None = None
     if max_workers != 0 and len(tasks) > 1:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
         try:
             with ProcessPoolExecutor(max_workers=max_workers) as executor:
-                rows = list(executor.map(_theorem2_config_row, tasks))
+                shards = list(executor.map(_theorem2_shard, tasks))
         except (OSError, BrokenProcessPool):  # pragma: no cover - sandboxed hosts
-            rows = None
-    if rows is None:
-        rows = [_theorem2_config_row(task) for task in tasks]
+            shards = None
+    if shards is None:
+        shards = [_theorem2_shard(task) for task in tasks]
+
+    # Merge shard results per configuration (set-union / AND, order-free).
+    merged_slots: list[set[int]] = [set() for _ in configs]
+    merged_verified = [True] * len(configs)
+    hits = misses = 0
+    for ci, (slots_seen, verified, shard_hits, shard_misses) in zip(
+        task_config, shards
+    ):
+        merged_slots[ci].update(slots_seen)
+        merged_verified[ci] = merged_verified[ci] and verified
+        hits += shard_hits
+        misses += shard_misses
+    rows = [
+        _sweep_row(d, g, merged_slots[ci], merged_verified[ci])
+        for ci, (d, g) in enumerate(configs)
+    ]
+    notes: dict[str, Any] = {
+        "trials per configuration": trials,
+        "backend": backend,
+        "simulator backend": sim_backend,
+        "max workers": max_workers if max_workers is not None else "auto",
+    }
+    if shard_trials is not None:
+        notes["trials per shard"] = shard
+    if cache_stats:
+        notes["schedule cache"] = f"{hits} hits / {misses} misses"
     return ExperimentResult(
         experiment_id="E1p",
         title="Theorem 2 sweep fanned across worker processes",
         claim="any permutation routes in 1 slot (d=1) or 2*ceil(d/g) slots (d>1)",
         headers=["d", "g", "n", "bound", "min slots", "max slots", "matches bound"],
         rows=rows,
-        notes={
-            "trials per configuration": trials,
-            "backend": backend,
-            "simulator backend": sim_backend,
-            "max workers": max_workers if max_workers is not None else "auto",
-        },
+        notes=notes,
     )
 
 

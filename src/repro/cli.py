@@ -21,6 +21,11 @@ Route on the vectorized batched simulator backend::
 Fan the Theorem 2 sweep across worker processes::
 
     pops-repro sweep --configs 8:4,16:8,32:32 --workers 4
+
+Shard a single huge configuration's trials across all cores and report the
+compiled-schedule cache counters::
+
+    pops-repro sweep --configs 128:128 --trials 16 --shard-trials 2 --cache-stats
 """
 
 from __future__ import annotations
@@ -109,6 +114,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (0 = serial; default: one per core)",
     )
+    sweep.add_argument(
+        "--shard-trials",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "split each configuration's trials into shards of at most K "
+            "trials so a single huge configuration saturates all workers; "
+            "results are bit-identical to the unsharded sweep"
+        ),
+    )
+    sweep.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="report compiled-schedule cache hits/misses in the sweep notes",
+    )
 
     subparsers.add_parser("list", help="list experiments and permutation families")
     return parser
@@ -178,6 +199,8 @@ def _command_sweep(
     backend: str,
     sim_backend: str,
     workers: int | None,
+    shard_trials: int | None = None,
+    cache_stats: bool = False,
 ) -> int:
     kwargs = {}
     if configs is not None:
@@ -188,6 +211,8 @@ def _command_sweep(
         backend=backend,
         sim_backend=sim_backend,
         max_workers=workers,
+        shard_trials=shard_trials,
+        cache_stats=cache_stats,
         **kwargs,
     )
     print(result.to_report())
@@ -226,6 +251,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.backend,
                 args.sim_backend,
                 args.workers,
+                args.shard_trials,
+                args.cache_stats,
             )
         if args.command == "list":
             return _command_list()

@@ -16,8 +16,14 @@ from repro.pops.topology import POPSNetwork, Coupler
 from repro.pops.packet import Packet
 from repro.pops.schedule import Transmission, Reception, SlotProgram, RoutingSchedule
 from repro.pops.simulator import POPSSimulator, SimulationResult
-from repro.pops.engine import BatchedSimulator, CompiledSchedule, compile_schedule
-from repro.pops.trace import SlotTrace, SimulationTrace
+from repro.pops.engine import (
+    BatchedSimulator,
+    CompiledSchedule,
+    ScheduleCache,
+    compile_schedule,
+    schedule_cache,
+)
+from repro.pops.trace import SlotTrace, SimulationTrace, CompiledTrace
 from repro.pops.render import (
     render_schedule,
     render_slot,
@@ -41,7 +47,10 @@ __all__ = [
     "SimulationResult",
     "BatchedSimulator",
     "CompiledSchedule",
+    "ScheduleCache",
     "compile_schedule",
+    "schedule_cache",
     "SlotTrace",
     "SimulationTrace",
+    "CompiledTrace",
 ]

@@ -37,6 +37,7 @@ message.
 
 from __future__ import annotations
 
+from collections.abc import Hashable
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,9 +49,15 @@ from repro.exceptions import (
 from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule
 from repro.pops.topology import Coupler, POPSNetwork
-from repro.pops.trace import SimulationTrace, SlotTrace
+from repro.pops.trace import CompiledTrace, SimulationTrace
 
-__all__ = ["CompiledSchedule", "BatchedSimulator", "compile_schedule"]
+__all__ = [
+    "CompiledSchedule",
+    "BatchedSimulator",
+    "ScheduleCache",
+    "compile_schedule",
+    "schedule_cache",
+]
 
 
 @dataclass
@@ -109,6 +116,110 @@ class CompiledSchedule:
     def n_transmissions(self) -> int:
         """Total transmissions across all slots."""
         return int(self.tx_sender.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the compiled arrays."""
+        return sum(
+            getattr(self, name).nbytes
+            for name in (
+                "tx_sender", "tx_packet", "tx_ptr",
+                "pay_coupler", "pay_packet", "pay_ptr",
+                "del_receiver", "del_packet", "del_ptr",
+                "con_packet", "con_ptr",
+                "idle_receiver", "idle_coupler",
+                "initial_loc", "pk_destination",
+            )
+        )
+
+
+class ScheduleCache:
+    """Cache of :class:`CompiledSchedule` objects keyed by caller-chosen keys.
+
+    Lowering a schedule is the dominant fixed cost of the batched engine, and
+    sweeps recompile identical schedules on every iteration: the same
+    ``(router backend, permutation, d, g, n)`` always lowers to the same
+    arrays.  Callers that can prove that determinism pass the corresponding
+    key (see :func:`repro.analysis.metrics.measure_routing`) and repeated
+    compilations become dictionary lookups.
+
+    The cache is doubly bounded — at most ``max_entries`` schedules *and*
+    at most ``max_bytes`` of compiled arrays, FIFO-evicted — so sweeping
+    huge networks (a compiled n≈20k schedule is megabytes of arrays) cannot
+    balloon a worker's memory even at a 0% hit rate.  It counts hits and
+    misses; ``pops-repro sweep --cache-stats`` surfaces the counters.
+    Compiled schedules are immutable after compilation, so sharing one object
+    between executions is safe (``execute`` copies the location array).
+    """
+
+    def __init__(self, max_entries: int = 64, max_bytes: int = 128 * 1024 * 1024):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: dict[Hashable, CompiledSchedule] = {}
+        self._total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Approximate bytes of compiled arrays currently cached."""
+        return self._total_bytes
+
+    def get(self, key: Hashable) -> CompiledSchedule | None:
+        """Look up ``key``, counting the access as a hit or a miss."""
+        compiled = self._entries.get(key)
+        if compiled is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return compiled
+
+    def put(self, key: Hashable, compiled: CompiledSchedule) -> None:
+        """Store ``compiled`` under ``key``, FIFO-evicting until within bounds.
+
+        A schedule larger than ``max_bytes`` on its own is not cached at all.
+        """
+        nbytes = compiled.nbytes
+        if nbytes > self.max_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._total_bytes -= old.nbytes
+        while self._entries and (
+            len(self._entries) >= self.max_entries
+            or self._total_bytes + nbytes > self.max_bytes
+        ):
+            evicted = self._entries.pop(next(iter(self._entries)))
+            self._total_bytes -= evicted.nbytes
+        self._entries[key] = compiled
+        self._total_bytes += nbytes
+
+    def stats(self) -> dict[str, int]:
+        """Counters as a plain dict: ``hits``, ``misses``, ``entries``."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self._total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide default cache; worker processes each hold their own instance.
+_SCHEDULE_CACHE = ScheduleCache()
+
+
+def schedule_cache() -> ScheduleCache:
+    """The process-wide compiled-schedule cache."""
+    return _SCHEDULE_CACHE
 
 
 def _packet_universe(
@@ -426,9 +537,32 @@ class BatchedSimulator:
         schedule: RoutingSchedule,
         packets: list[Packet],
         initial_buffers: dict[int, list[Packet]] | None = None,
+        cache_key: Hashable | None = None,
+        cache: ScheduleCache | None = None,
     ) -> CompiledSchedule:
-        """Lower ``schedule`` once; the result can be executed repeatedly."""
-        return compile_schedule(self.network, schedule, packets, initial_buffers)
+        """Lower ``schedule`` once; the result can be executed repeatedly.
+
+        ``cache_key`` opts into the compiled-schedule cache: the caller
+        asserts that the key fully determines ``(schedule, packets)`` — e.g.
+        ``(router backend, d, g, permutation)`` for deterministic routers —
+        and repeated compilations under the same key return the cached
+        arrays.  Because a hit returns the *first* compilation's packet
+        universe and ``Packet.payload`` is excluded from packet equality,
+        the key must also determine payloads: keys may only be shared by
+        runs whose packets are payload-free or payload-identical (the
+        routing layer's packets carry no payloads).  ``cache`` overrides the
+        process-wide cache (useful for isolation in tests and benchmarks).
+        Runs with explicit ``initial_buffers`` never consult the cache,
+        since buffer contents are not covered by the key contract.
+        """
+        if cache_key is None or initial_buffers is not None:
+            return compile_schedule(self.network, schedule, packets, initial_buffers)
+        store = cache if cache is not None else schedule_cache()
+        compiled = store.get(cache_key)
+        if compiled is None:
+            compiled = compile_schedule(self.network, schedule, packets, None)
+            store.put(cache_key, compiled)
+        return compiled
 
     def execute(self, compiled: CompiledSchedule) -> np.ndarray:
         """Run a compiled schedule, returning the final packet-location array."""
@@ -493,36 +627,29 @@ class BatchedSimulator:
             buffers[int(loc[idx])].append(compiled.packets[idx])
         return buffers
 
+    def compiled_trace(self, compiled: CompiledSchedule) -> CompiledTrace:
+        """The (static) trace of a compiled schedule as a zero-copy array view.
+
+        The returned :class:`~repro.pops.trace.CompiledTrace` shares the
+        compiled schedule's payload/delivery arrays; statistics over it are
+        numpy reductions, and ``.materialize()`` produces the dict-based
+        :class:`~repro.pops.trace.SimulationTrace` when per-slot objects are
+        genuinely needed.
+        """
+        return CompiledTrace(
+            g=self.network.g,
+            packets=compiled.packets,
+            pay_coupler=compiled.pay_coupler,
+            pay_packet=compiled.pay_packet,
+            pay_ptr=compiled.pay_ptr,
+            del_receiver=compiled.del_receiver,
+            del_packet=compiled.del_packet,
+            del_ptr=compiled.del_ptr,
+        )
+
     def trace_from_compiled(self, compiled: CompiledSchedule) -> SimulationTrace:
-        """Materialize the (static) per-slot trace of a compiled schedule."""
-        g = self.network.g
-        couplers = [Coupler(cid // g, cid % g) for cid in range(g * g)]
-        packets = compiled.packets
-        trace = SimulationTrace()
-        pay_ptr, del_ptr = compiled.pay_ptr, compiled.del_ptr
-        for s in range(compiled.n_slots):
-            payloads = {
-                couplers[c]: packets[p]
-                for c, p in zip(
-                    compiled.pay_coupler[pay_ptr[s]:pay_ptr[s + 1]],
-                    compiled.pay_packet[pay_ptr[s]:pay_ptr[s + 1]],
-                )
-            }
-            deliveries = [
-                (int(r), packets[p])
-                for r, p in zip(
-                    compiled.del_receiver[del_ptr[s]:del_ptr[s + 1]],
-                    compiled.del_packet[del_ptr[s]:del_ptr[s + 1]],
-                )
-            ]
-            trace.slots.append(
-                SlotTrace(
-                    slot_index=s,
-                    coupler_payloads=payloads,
-                    deliveries=deliveries,
-                )
-            )
-        return trace
+        """Materialize the per-slot dict trace of a compiled schedule."""
+        return self.compiled_trace(compiled).materialize()
 
     def run(
         self,
@@ -530,21 +657,23 @@ class BatchedSimulator:
         packets: list[Packet],
         initial_buffers: dict[int, list[Packet]] | None = None,
         collect_trace: bool = True,
+        cache_key: Hashable | None = None,
     ):
         """Compile and execute ``schedule``, packaging a ``SimulationResult``.
 
-        With ``collect_trace=False`` the result's trace is left empty (use
-        :meth:`execute` / :meth:`verify_locations` directly for the leanest
-        fast path; the compiled schedule retains all per-slot statistics).
+        The result's trace is a :class:`~repro.pops.trace.CompiledTrace` —
+        integer arrays end to end; statistics are numpy reductions and
+        per-slot dicts are only built if ``trace.materialize()`` (or the
+        ``trace.slots`` escape hatch) is called.  With ``collect_trace=False``
+        the trace is left empty.  ``cache_key`` is forwarded to
+        :meth:`compile`.
         """
         from repro.pops.simulator import SimulationResult
 
-        compiled = self.compile(schedule, packets, initial_buffers)
+        compiled = self.compile(schedule, packets, initial_buffers, cache_key=cache_key)
         loc = self.execute(compiled)
         trace = (
-            self.trace_from_compiled(compiled)
-            if collect_trace
-            else SimulationTrace()
+            self.compiled_trace(compiled) if collect_trace else SimulationTrace()
         )
         return SimulationResult(
             network=self.network,
@@ -552,8 +681,13 @@ class BatchedSimulator:
             trace=trace,
         )
 
-    def route_and_verify(self, schedule: RoutingSchedule, packets: list[Packet]):
+    def route_and_verify(
+        self,
+        schedule: RoutingSchedule,
+        packets: list[Packet],
+        cache_key: Hashable | None = None,
+    ):
         """Run ``schedule`` and assert every packet reached its destination."""
-        result = self.run(schedule, packets)
+        result = self.run(schedule, packets, cache_key=cache_key)
         result.verify_permutation_delivery(packets)
         return result

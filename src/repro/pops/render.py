@@ -9,7 +9,6 @@ or external analysis, without requiring any third-party dependency.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
 from typing import Any
 
 from repro.pops.schedule import RoutingSchedule, SlotProgram

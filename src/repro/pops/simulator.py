@@ -18,6 +18,7 @@ repository establish end-to-end correctness (not just slot counting).
 
 from __future__ import annotations
 
+from collections.abc import Hashable
 from dataclasses import dataclass, field
 
 from repro.exceptions import (
@@ -32,7 +33,7 @@ from repro.exceptions import (
 from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule, SlotProgram
 from repro.pops.topology import Coupler, POPSNetwork
-from repro.pops.trace import SimulationTrace, SlotTrace
+from repro.pops.trace import CompiledTrace, SimulationTrace, SlotTrace
 
 __all__ = ["POPSSimulator", "SimulationResult"]
 
@@ -48,12 +49,16 @@ class SimulationResult:
     buffers:
         Final buffer contents, ``processor -> list of packets held``.
     trace:
-        Per-slot record of coupler payloads and deliveries.
+        Per-slot record of coupler payloads and deliveries — a dict-based
+        :class:`SimulationTrace` from the reference backend, or a
+        :class:`~repro.pops.trace.CompiledTrace` (integer arrays end to end,
+        statistics as numpy reductions) from the batched engine.  Both expose
+        the same statistics API.
     """
 
     network: POPSNetwork
     buffers: dict[int, list[Packet]]
-    trace: SimulationTrace = field(default_factory=SimulationTrace)
+    trace: SimulationTrace | CompiledTrace = field(default_factory=SimulationTrace)
 
     @property
     def n_slots(self) -> int:
@@ -164,11 +169,15 @@ class POPSSimulator:
         schedule: RoutingSchedule,
         packets: list[Packet],
         initial_buffers: dict[int, list[Packet]] | None = None,
+        cache_key: Hashable | None = None,
     ) -> SimulationResult:
         """Execute ``schedule`` starting from ``packets`` at their sources.
 
         The schedule is first statically validated, then executed slot by slot
         with dynamic checks (buffer ownership, idle-coupler reads).
+        ``cache_key`` opts the batched backend into the compiled-schedule
+        cache (see :meth:`repro.pops.engine.BatchedSimulator.compile`); the
+        reference backend ignores it.
         """
         if schedule.network != self.network:
             raise SimulationError(
@@ -179,7 +188,7 @@ class POPSSimulator:
 
             try:
                 return BatchedSimulator(self.network, self.strict_receptions).run(
-                    schedule, packets, initial_buffers
+                    schedule, packets, initial_buffers, cache_key=cache_key
                 )
             except UnsupportedScheduleError:
                 pass  # schedule duplicates packets: reference path below
@@ -275,9 +284,12 @@ class POPSSimulator:
     # -- convenience -------------------------------------------------------------------
 
     def route_and_verify(
-        self, schedule: RoutingSchedule, packets: list[Packet]
+        self,
+        schedule: RoutingSchedule,
+        packets: list[Packet],
+        cache_key: Hashable | None = None,
     ) -> SimulationResult:
         """Run ``schedule`` and assert every packet reached its destination."""
-        result = self.run(schedule, packets)
+        result = self.run(schedule, packets, cache_key=cache_key)
         result.verify_permutation_delivery(packets)
         return result

@@ -3,16 +3,32 @@
 The simulator records, per slot, which couplers carried which packets and how
 every processor's buffer changed.  Traces feed the analysis layer (coupler
 utilisation, packets moved per slot) and make failed runs debuggable.
+
+Two representations coexist:
+
+* :class:`SimulationTrace` — per-slot Python dicts (:class:`SlotTrace`), built
+  by the reference simulator and ideal for rendering and debugging.
+* :class:`CompiledTrace` — the batched engine's CSR-style integer arrays kept
+  end to end, with the same statistics implemented as numpy reductions and an
+  explicit :meth:`CompiledTrace.materialize` escape hatch that produces the
+  dict representation on demand.
+
+Both expose ``n_slots``, ``total_packets_moved``, ``coupler_usage()``,
+``max_coupler_usage()``, ``mean_coupler_utilisation()`` and
+``packets_moved_per_slot()`` with identical values, so the analysis layer is
+representation-agnostic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.pops.packet import Packet
 from repro.pops.topology import Coupler
 
-__all__ = ["SlotTrace", "SimulationTrace"]
+__all__ = ["SlotTrace", "SimulationTrace", "CompiledTrace"]
 
 
 @dataclass
@@ -72,3 +88,168 @@ class SimulationTrace:
     def packets_moved_per_slot(self) -> list[int]:
         """Packets moved in each slot, in execution order."""
         return [slot.packets_moved for slot in self.slots]
+
+
+@dataclass(eq=False)
+class CompiledTrace:
+    """A simulation trace kept as the engine's compiled integer arrays.
+
+    Slot ``s``'s coupler payloads are ``(pay_coupler, pay_packet)[pay_ptr[s]:
+    pay_ptr[s + 1]]`` and its deliveries ``(del_receiver, del_packet)
+    [del_ptr[s]:del_ptr[s + 1]]``; packet ids index into ``packets`` and
+    coupler ids encode ``Coupler(cid // g, cid % g)``.  All aggregate
+    statistics are numpy reductions over these arrays — no per-slot Python
+    objects exist unless :meth:`materialize` (or the :attr:`slots` escape
+    hatch) is called.
+
+    Attributes
+    ----------
+    g:
+        Number of groups of the simulated network (``g * g`` couplers).
+    packets:
+        The packet universe the id arrays index into.
+    pay_coupler / pay_packet / pay_ptr:
+        CSR arrays of per-slot coupler payloads.
+    del_receiver / del_packet / del_ptr:
+        CSR arrays of per-slot deliveries.
+    """
+
+    g: int
+    packets: list[Packet]
+    pay_coupler: np.ndarray
+    pay_packet: np.ndarray
+    pay_ptr: np.ndarray
+    del_receiver: np.ndarray
+    del_packet: np.ndarray
+    del_ptr: np.ndarray
+
+    # The dataclass-generated __eq__ would apply ``==`` to the ndarray fields
+    # and raise on the resulting boolean arrays; compare them element-wise
+    # instead so two SimulationResults remain comparable on any backend.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompiledTrace):
+            return NotImplemented
+        return (
+            self.g == other.g
+            and self.packets == other.packets
+            and all(
+                np.array_equal(getattr(self, name), getattr(other, name))
+                for name in (
+                    "pay_coupler",
+                    "pay_packet",
+                    "pay_ptr",
+                    "del_receiver",
+                    "del_packet",
+                    "del_ptr",
+                )
+            )
+        )
+
+    __hash__ = None  # mutable container semantics, like SimulationTrace
+
+    # -- aggregate statistics (numpy reductions) -----------------------------
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots executed."""
+        return int(self.pay_ptr.shape[0]) - 1
+
+    @property
+    def total_packets_moved(self) -> int:
+        """Total coupler-slot usages across the run."""
+        return int(self.pay_coupler.shape[0])
+
+    @property
+    def total_packets_received(self) -> int:
+        """Total (processor, packet) receptions across the run."""
+        return int(self.del_receiver.shape[0])
+
+    def packets_moved(self, slot: int) -> int:
+        """Number of couplers that carried a packet in ``slot``."""
+        return int(self.pay_ptr[slot + 1] - self.pay_ptr[slot])
+
+    def packets_received(self, slot: int) -> int:
+        """Number of (processor, packet) receptions in ``slot``."""
+        return int(self.del_ptr[slot + 1] - self.del_ptr[slot])
+
+    def packets_moved_per_slot(self) -> list[int]:
+        """Packets moved in each slot, in execution order."""
+        return np.diff(self.pay_ptr).tolist()
+
+    def packets_received_per_slot(self) -> list[int]:
+        """Packets received in each slot, in execution order."""
+        return np.diff(self.del_ptr).tolist()
+
+    def coupler_usage_counts(self) -> np.ndarray:
+        """Per-coupler busy-slot counts as a dense ``g * g`` array.
+
+        Index ``cid`` corresponds to ``Coupler(cid // g, cid % g)``.
+        """
+        return np.bincount(self.pay_coupler, minlength=self.g * self.g)
+
+    def coupler_usage(self) -> dict[Coupler, int]:
+        """How many slots each coupler carried a packet for."""
+        counts = self.coupler_usage_counts()
+        g = self.g
+        return {
+            Coupler(int(cid) // g, int(cid) % g): int(counts[cid])
+            for cid in np.flatnonzero(counts)
+        }
+
+    def max_coupler_usage(self) -> int:
+        """The busiest coupler's number of used slots (0 for an empty trace)."""
+        if self.pay_coupler.shape[0] == 0:
+            return 0
+        return int(self.coupler_usage_counts().max())
+
+    def mean_coupler_utilisation(self, n_couplers: int) -> float:
+        """Average fraction of couplers busy per slot."""
+        if self.n_slots == 0 or n_couplers == 0:
+            return 0.0
+        return self.total_packets_moved / (self.n_slots * n_couplers)
+
+    # -- escape hatch to the dict representation -----------------------------
+
+    def materialize(self) -> SimulationTrace:
+        """Build the dict-based :class:`SimulationTrace` for rendering/debugging."""
+        g = self.g
+        couplers = [Coupler(cid // g, cid % g) for cid in range(g * g)]
+        packets = self.packets
+        pay_ptr, del_ptr = self.pay_ptr, self.del_ptr
+        trace = SimulationTrace()
+        for s in range(self.n_slots):
+            payloads = {
+                couplers[c]: packets[p]
+                for c, p in zip(
+                    self.pay_coupler[pay_ptr[s]:pay_ptr[s + 1]],
+                    self.pay_packet[pay_ptr[s]:pay_ptr[s + 1]],
+                )
+            }
+            deliveries = [
+                (int(r), packets[p])
+                for r, p in zip(
+                    self.del_receiver[del_ptr[s]:del_ptr[s + 1]],
+                    self.del_packet[del_ptr[s]:del_ptr[s + 1]],
+                )
+            ]
+            trace.slots.append(
+                SlotTrace(
+                    slot_index=s,
+                    coupler_payloads=payloads,
+                    deliveries=deliveries,
+                )
+            )
+        return trace
+
+    @property
+    def slots(self) -> list[SlotTrace]:
+        """Materialized per-slot views, built lazily and cached.
+
+        Debug/rendering convenience only — analysis code should use the numpy
+        reductions above, which never build per-slot objects.
+        """
+        cached = getattr(self, "_materialized", None)
+        if cached is None:
+            cached = self.materialize().slots
+            self._materialized = cached
+        return cached

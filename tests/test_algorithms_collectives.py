@@ -12,7 +12,6 @@ from repro.algorithms.prefix_sum import hypercube_prefix_sum
 from repro.algorithms.reduction import data_sum, hypercube_allreduce
 from repro.exceptions import DeliveryError, ValidationError
 from repro.patterns.families import cyclic_shift, vector_reversal
-from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
 from repro.routing.permutation_router import theorem2_slot_bound
 from repro.utils.permutations import random_permutation

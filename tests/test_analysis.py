@@ -22,7 +22,7 @@ from repro.analysis.metrics import (
     slots_vs_bound,
 )
 from repro.analysis.reporting import format_experiment_report, format_table
-from repro.patterns.families import figure3_permutation, vector_reversal
+from repro.patterns.families import vector_reversal
 from repro.pops.topology import POPSNetwork
 from repro.utils.permutations import random_permutation
 

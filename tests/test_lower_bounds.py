@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from math import ceil
 
-import pytest
-
 from repro.analysis.metrics import measure_routing
 from repro.patterns.families import cyclic_shift, group_cyclic_shift, vector_reversal
 from repro.patterns.generators import (
