@@ -17,7 +17,7 @@ from repro.algorithms.emulation import HypercubeEmulator, MeshEmulator
 from repro.algorithms.matrix import cannon_matrix_multiply, distributed_transpose
 from repro.algorithms.prefix_sum import hypercube_prefix_sum
 from repro.algorithms.reduction import hypercube_allreduce
-from repro.analysis.experiments import run_collectives_experiment
+from repro.api import Session
 from repro.pops.topology import POPSNetwork
 from repro.routing.permutation_router import theorem2_slot_bound
 
@@ -85,6 +85,7 @@ def test_mesh_emulation_step(benchmark):
 
 
 def test_e8_experiment_table(benchmark, print_report):
-    result = benchmark(run_collectives_experiment)
+    session = Session()
+    result = benchmark(lambda: session.experiment("E8", seed=41))
     print_report(result)
     assert result.all_pass

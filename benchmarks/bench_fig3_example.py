@@ -8,7 +8,7 @@ and a second delivers every packet — two slots total, matching
 
 from __future__ import annotations
 
-from repro.analysis.experiments import run_figure3_example
+from repro.api import Session
 from repro.patterns.families import figure3_permutation
 from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
@@ -39,7 +39,8 @@ def test_figure3_two_slot_routing(benchmark):
 
 
 def test_e2_experiment_table(benchmark, print_report):
-    result = benchmark(run_figure3_example)
+    session = Session()
+    result = benchmark(lambda: session.experiment("E2"))
     print_report(result)
     assert result.all_pass
     assert result.notes["slots used"] == 2

@@ -12,8 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.experiments import run_lower_bound_experiment
-from repro.analysis.metrics import measure_routing
+from repro.api import Session
 from repro.patterns.generators import PermutationGenerator
 from repro.pops.topology import POPSNetwork
 from repro.routing.lower_bounds import (
@@ -31,7 +30,8 @@ def test_proposition2_class_is_tight(benchmark, d, g):
     generator = PermutationGenerator(network, rng=17)
     pi = generator.group_moving_blocked()
 
-    metrics = benchmark(lambda: measure_routing(network, pi))
+    session = Session()
+    metrics = benchmark(lambda: session.route(pi, network=network))
     bound = proposition2_lower_bound(network, pi)
     assert bound is not None
     assert metrics.slots == bound
@@ -44,13 +44,15 @@ def test_proposition1_derangements(benchmark, d, g):
     generator = PermutationGenerator(network, rng=23)
     pi = generator.derangement()
 
-    metrics = benchmark(lambda: measure_routing(network, pi))
+    session = Session()
+    metrics = benchmark(lambda: session.route(pi, network=network))
     bound = proposition1_lower_bound(network, pi)
     assert bound is not None
     assert bound <= metrics.slots <= 2 * bound
 
 
 def test_e4_experiment_table(benchmark, print_report):
-    result = benchmark(lambda: run_lower_bound_experiment(trials=2, seed=11))
+    session = Session()
+    result = benchmark(lambda: session.experiment("E4", trials=2, seed=11))
     print_report(result)
     assert result.all_pass

@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from repro.analysis.experiments import run_one_slot_fraction
+from repro.api import Session
 from repro.pops.engine import BatchedSimulator
 from repro.pops.packet import Packet
 from repro.pops.simulator import POPSSimulator
@@ -57,7 +57,8 @@ def test_routability_check_cost(benchmark, d, g):
 
 
 def test_e7_experiment_table(benchmark, print_report):
-    result = benchmark(lambda: run_one_slot_fraction(trials=100, seed=31))
+    session = Session()
+    result = benchmark(lambda: session.experiment("E7", trials=100, seed=31))
     print_report(result)
     assert result.all_pass
 

@@ -14,7 +14,7 @@ import random
 
 import pytest
 
-from repro.analysis.experiments import run_scaling_experiment
+from repro.api import Session
 from repro.routing.fair_distribution import FairDistributionSolver
 from repro.routing.list_system import ListSystem
 from repro.utils.permutations import random_permutation
@@ -48,6 +48,7 @@ def test_fair_distribution_rectangular(benchmark, backend):
 
 
 def test_e3_experiment_table(benchmark, print_report):
-    result = benchmark(lambda: run_scaling_experiment(g_values=(4, 8, 16), trials=2))
+    session = Session()
+    result = benchmark(lambda: session.experiment("E3", g_values=(4, 8, 16), trials=2))
     print_report(result)
     assert result.all_pass

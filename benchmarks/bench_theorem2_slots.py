@@ -13,8 +13,7 @@ import random
 
 import pytest
 
-from repro.analysis.experiments import run_theorem2_sweep
-from repro.analysis.metrics import measure_routing
+from repro.api import Session
 from repro.pops.topology import POPSNetwork
 from repro.routing.permutation_router import PermutationRouter, theorem2_slot_bound
 from repro.utils.permutations import random_permutation
@@ -30,7 +29,8 @@ def test_theorem2_route_and_verify(benchmark, d, g):
     rng = random.Random(1000 * d + g)
     pi = random_permutation(network.n, rng)
 
-    metrics = benchmark(lambda: measure_routing(network, pi))
+    session = Session()
+    metrics = benchmark(lambda: session.route(pi, network=network))
     assert metrics.slots == theorem2_slot_bound(d, g)
     assert metrics.meets_theorem2_bound
 
@@ -48,6 +48,7 @@ def test_theorem2_route_only(benchmark, d, g):
 
 def test_e1_experiment_table(benchmark, print_report):
     """Regenerate the E1 table (slot counts across the default sweep)."""
-    result = benchmark(lambda: run_theorem2_sweep(trials=2, seed=2002))
+    session = Session()
+    result = benchmark(lambda: session.experiment("E1", trials=2, seed=2002))
     print_report(result)
     assert result.all_pass

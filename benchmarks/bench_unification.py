@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.experiments import run_unification_experiment
-from repro.analysis.metrics import measure_routing
+from repro.api import Session
 from repro.patterns.families import (
     bit_reversal_permutation,
     hypercube_exchange,
@@ -41,7 +40,8 @@ def test_specialised_families_meet_bound(benchmark, family):
     network = POPSNetwork(d, g)
     pi = factory(network.n)
 
-    metrics = benchmark(lambda: measure_routing(network, pi))
+    session = Session()
+    metrics = benchmark(lambda: session.route(pi, network=network))
     assert metrics.slots == theorem2_slot_bound(d, g)
 
 
@@ -56,6 +56,7 @@ def test_transpose_direct_optimum(benchmark):
 
 
 def test_e5_experiment_table(benchmark, print_report):
-    result = benchmark(run_unification_experiment)
+    session = Session()
+    result = benchmark(lambda: session.experiment("E5"))
     print_report(result)
     assert result.all_pass

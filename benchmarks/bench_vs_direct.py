@@ -12,8 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.experiments import run_direct_comparison
-from repro.analysis.metrics import measure_routing
+from repro.api import Session
 from repro.patterns.generators import PermutationGenerator
 from repro.pops.topology import POPSNetwork
 from repro.routing.baselines.blocked import BlockedPermutationRouter
@@ -29,7 +28,8 @@ def test_universal_beats_direct_on_blocked_traffic(benchmark, d, g):
     generator = PermutationGenerator(network, rng=29)
     pi = generator.group_moving_blocked()
 
-    metrics = benchmark(lambda: measure_routing(network, pi))
+    session = Session()
+    metrics = benchmark(lambda: session.route(pi, network=network))
     direct_slots = DirectRouter(network).slots_required(pi)
     assert metrics.slots == theorem2_slot_bound(d, g)
     assert direct_slots == d
@@ -70,6 +70,7 @@ def test_universal_router_cost_on_blocked(benchmark, d, g):
 
 
 def test_e6_experiment_table(benchmark, print_report):
-    result = benchmark(lambda: run_direct_comparison(trials=2, seed=23))
+    session = Session()
+    result = benchmark(lambda: session.experiment("E6", trials=2, seed=23))
     print_report(result)
     assert result.all_pass

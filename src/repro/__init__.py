@@ -48,11 +48,15 @@ from repro.routing.lower_bounds import (
     is_group_moving,
 )
 from repro.routing.baselines import BlockedPermutationRouter, DirectRouter
+from repro.api.config import RunConfig
+from repro.api.session import Session
 from repro import exceptions
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "RunConfig",
+    "Session",
     "POPSNetwork",
     "Coupler",
     "Packet",

@@ -7,8 +7,13 @@ paper-claim versus measured output, the benchmarks under ``benchmarks/`` wrap
 the runners in ``pytest-benchmark`` fixtures, and ``python -m repro`` prints
 their reports from the command line.
 
-All runners accept explicit size/seed parameters with small, fast defaults so
-they double as integration tests.
+Runners are registered in :data:`repro.api.registry.EXPERIMENTS` under their
+experiment ids and executed through a :class:`repro.api.session.Session`,
+which supplies the router backend, simulator engine, schedule cache and the
+root of the seed lineage; per-experiment sizes remain overridable via
+``session.experiment(id, **overrides)``.  The historical free functions
+(``run_theorem2_sweep`` and friends) are kept as one-release deprecation
+shims that build an equivalent session and delegate.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from math import ceil
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -25,8 +30,8 @@ from repro.algorithms.broadcast import execute_broadcast
 from repro.algorithms.matrix import cannon_matrix_multiply, distributed_transpose
 from repro.algorithms.prefix_sum import hypercube_prefix_sum
 from repro.algorithms.reduction import hypercube_allreduce
-from repro.analysis.metrics import measure_routing
 from repro.analysis.reporting import format_experiment_report
+from repro.api import EXPERIMENTS, warn_deprecated
 from repro.patterns.families import (
     all_hypercube_exchanges,
     bit_reversal_permutation,
@@ -39,7 +44,6 @@ from repro.patterns.families import (
     vector_reversal,
 )
 from repro.patterns.generators import PermutationGenerator
-from repro.pops.engine import schedule_cache
 from repro.pops.packet import Packet
 from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
@@ -55,6 +59,9 @@ from repro.routing.one_slot import OneSlotRouter, is_one_slot_routable
 from repro.routing.permutation_router import PermutationRouter, theorem2_slot_bound
 from repro.utils.permutations import random_permutation
 from repro.utils.rng import resolve_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.session import Session
 
 __all__ = [
     "ExperimentResult",
@@ -109,10 +116,32 @@ class ExperimentResult:
             self.notes,
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """The result as a JSON-ready dict (numpy scalars coerced)."""
+        from repro.api.serialize import to_jsonable
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "headers": list(self.headers),
+            "rows": to_jsonable(self.rows),
+            "notes": to_jsonable(self.notes),
+            "all_pass": self.all_pass,
+        }
+
     @property
     def all_pass(self) -> bool:
         """True iff every row's final column (the per-row verdict) is truthy."""
         return all(bool(row[-1]) for row in self.rows)
+
+
+def _shim_session(backend: str = "konig", **config_fields: Any) -> Session:
+    """The session a deprecation shim delegates to (see
+    :func:`repro.api.session.legacy_shim_session`)."""
+    from repro.api.session import legacy_shim_session
+
+    return legacy_shim_session(router_backend=backend, **config_fields)
 
 
 # ---------------------------------------------------------------------------
@@ -126,32 +155,44 @@ def _trial_seeds(config_seed: int, trials: int) -> list[int]:
     Every trial gets its own seed derived from the configuration seed, so a
     contiguous shard of trials can run in any worker process and still sample
     exactly the permutations the unsharded run would: sharded and unsharded
-    sweeps are bit-for-bit identical given the same top-level seed.
+    sweeps are bit-for-bit identical given the same top-level seed.  (This is
+    the one seed lineage of the API — re-exported as
+    :func:`repro.api.session.derive_trial_seeds`.)
     """
-    rng = resolve_rng(config_seed)
-    return [rng.randrange(2**31) for _ in range(trials)]
+    from repro.api.session import derive_trial_seeds
+
+    return derive_trial_seeds(config_seed, trials)
 
 
 def _theorem2_shard(
-    task: tuple[int, int, tuple[int, ...], str, str],
+    task: tuple[int, int, tuple[int, ...], dict[str, Any]],
+    session: Session | None = None,
 ) -> tuple[list[int], bool, int, int]:
     """Run one shard (an explicit list of trial seeds) of a (d, g) configuration.
 
-    Top-level so process-pool workers can pickle it.  Returns the sorted slot
-    counts seen, the AND of the per-trial bound checks, and the shard's
-    schedule-cache hit/miss deltas (each worker process owns its own cache).
+    Top-level so process-pool workers can pickle it.  With no ``session`` (a
+    pool worker: sessions do not cross process boundaries) the worker builds
+    one from the task's config fields — router backend, engine, cache policy
+    *and* cache bounds all survive the hop, so a worker's cache respects the
+    configured byte budget; in-process callers pass their own session so the
+    session-owned cache is honoured directly.  Returns the sorted slot counts
+    seen, the AND of the per-trial bound checks, and the shard's
+    schedule-cache hit/miss deltas.
     """
-    d, g, trial_seeds, backend, sim_backend = task
+    d, g, trial_seeds, config_fields = task
+    if session is None:
+        from repro.api.config import RunConfig
+        from repro.api.session import Session
+
+        session = Session(RunConfig(**config_fields))
     network = POPSNetwork(d, g)
-    cache = schedule_cache()
+    cache = session.cache
     hits0, misses0 = cache.hits, cache.misses
     slots_seen: set[int] = set()
     verified = True
     for trial_seed in trial_seeds:
         pi = random_permutation(network.n, resolve_rng(trial_seed))
-        metrics = measure_routing(
-            network, pi, backend=backend, sim_backend=sim_backend
-        )
+        metrics = session.route(pi, network=network)
         slots_seen.add(metrics.slots)
         verified = verified and metrics.meets_theorem2_bound
     return (
@@ -175,39 +216,48 @@ def _sweep_row(d: int, g: int, slots_seen: set[int], verified: bool) -> list[Any
     ]
 
 
-def _theorem2_config_row(
-    task: tuple[int, int, int, int, str, str],
-) -> list[Any]:
-    """One (d, g) row of the Theorem 2 sweep; top-level so workers can pickle it."""
-    d, g, trials, seed, backend, sim_backend = task
-    slots_seen, verified, _, _ = _theorem2_shard(
-        (d, g, tuple(_trial_seeds(seed, trials)), backend, sim_backend)
-    )
-    return _sweep_row(d, g, set(slots_seen), verified)
+def _shard_context(session: Session, sim_backend: str) -> tuple[Session, dict[str, Any]]:
+    """The in-process shard session and the picklable config for pool workers.
+
+    Both are built from the caller's *whole* config with the engine resolved
+    — the dict round-trips via ``RunConfig(**fields)``, so every config field
+    (cache policy, cache bounds, future additions) survives the process
+    boundary by construction.  The in-process session additionally shares the
+    caller's own schedule cache.
+    """
+    from repro.api.session import Session
+
+    shard_config = session.config.replace(sim_backend=sim_backend)
+    return Session(shard_config, cache=session.cache), shard_config.to_dict()
 
 
-def run_theorem2_sweep(
+@EXPERIMENTS.register("E1")
+def _theorem2_sweep(
+    session: Session,
     configs: Sequence[tuple[int, int]] = DEFAULT_CONFIGS,
-    trials: int = 3,
-    seed: int = 2002,
-    backend: str = "konig",
-    sim_backend: str = "reference",
+    trials: int | None = None,
+    seed: int | None = None,
 ) -> ExperimentResult:
     """E1: the universal router uses exactly 1 / 2⌈d/g⌉ slots on random permutations.
 
-    Every routing is executed on the simulator (``sim_backend`` selects the
-    reference or batched engine) and verified for delivery.
+    Every routing is executed on the simulator (the session's engine, default
+    ``reference``) and verified for delivery.
     """
+    trials = session.config.trials if trials is None else trials
+    seed = session.config.seed if seed is None else seed
+    backend = session.config.router_backend
+    sim_backend = session.sim_backend("reference")
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
     rng = resolve_rng(seed)
+    shard_session, config_fields = _shard_context(session, sim_backend)
     rows: list[list[Any]] = []
     for d, g in configs:
-        rows.append(
-            _theorem2_config_row(
-                (d, g, trials, rng.randrange(2**31), backend, sim_backend)
-            )
+        trial_seeds = tuple(_trial_seeds(rng.randrange(2**31), trials))
+        slots_seen, verified, _, _ = _theorem2_shard(
+            (d, g, trial_seeds, config_fields), session=shard_session
         )
+        rows.append(_sweep_row(d, g, set(slots_seen), verified))
     return ExperimentResult(
         experiment_id="E1",
         title="Theorem 2 slot counts over a (d, g) sweep",
@@ -222,36 +272,55 @@ def run_theorem2_sweep(
     )
 
 
-def run_parallel_sweep(
+def run_theorem2_sweep(
     configs: Sequence[tuple[int, int]] = DEFAULT_CONFIGS,
     trials: int = 3,
     seed: int = 2002,
     backend: str = "konig",
-    sim_backend: str = "batched",
-    max_workers: int | None = None,
-    shard_trials: int | None = None,
-    cache_stats: bool = False,
+    sim_backend: str = "reference",
+) -> ExperimentResult:
+    """E1: the universal router uses exactly 1 / 2⌈d/g⌉ slots on random permutations.
+
+    .. deprecated:: 1.1
+        Use ``Session(RunConfig(...)).experiment("E1")`` instead.
+    """
+    warn_deprecated("run_theorem2_sweep", "Session.experiment('E1')")
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    session = _shim_session(
+        backend=backend, sim_backend=sim_backend, trials=trials, seed=seed
+    )
+    return _theorem2_sweep(session, configs=configs)
+
+
+@EXPERIMENTS.register("E1p")
+def _parallel_sweep(
+    session: Session,
+    configs: Sequence[tuple[int, int]] = DEFAULT_CONFIGS,
 ) -> ExperimentResult:
     """Theorem 2 sweep fanned across processes, optionally sharding trials.
 
     By default each (d, g) configuration is one unit of work.  With
-    ``shard_trials=k`` every configuration's trials are additionally split
-    into shards of at most ``k`` trials, each shard an independent task with
-    deterministically derived per-trial seeds — so a *single* huge
-    configuration (n in the tens of thousands) saturates all cores instead of
-    one, and the merged result is bit-for-bit identical to the unsharded run
-    with the same seed.  ``max_workers=0`` (or a single task) runs serially
-    in-process, which is also the fallback when the platform cannot spawn
-    worker processes.  ``cache_stats=True`` aggregates the workers'
-    compiled-schedule-cache counters into the report notes.
+    ``shard_trials=k`` in the session config every configuration's trials are
+    additionally split into shards of at most ``k`` trials, each shard an
+    independent task with deterministically derived per-trial seeds — so a
+    *single* huge configuration (n in the tens of thousands) saturates all
+    cores instead of one, and the merged result is bit-for-bit identical to
+    the unsharded run with the same seed.  ``workers=0`` (or a single task)
+    runs serially in-process, which is also the fallback when the platform
+    cannot spawn worker processes.  ``cache_stats=True`` aggregates the
+    workers' compiled-schedule-cache counters into the report notes.
     """
-    if trials < 1:
-        raise ValueError(f"trials must be positive, got {trials}")
-    if shard_trials is not None and shard_trials < 1:
-        raise ValueError(f"shard_trials must be positive, got {shard_trials}")
-    rng = resolve_rng(seed)
+    config = session.config
+    trials = config.trials
+    backend = config.router_backend
+    sim_backend = session.sim_backend("batched")
+    max_workers = config.workers
+    shard_trials = config.shard_trials
+    rng = resolve_rng(config.seed)
     config_seeds = [rng.randrange(2**31) for _ in configs]
     shard = trials if shard_trials is None else min(shard_trials, trials)
+    shard_session, config_fields = _shard_context(session, sim_backend)
     tasks = []
     task_config: list[int] = []  # task index -> config index
     for ci, (d, g) in enumerate(configs):
@@ -261,7 +330,7 @@ def run_parallel_sweep(
         trial_seeds = _trial_seeds(config_seeds[ci], trials)
         for lo in range(0, trials, shard):
             chunk = tuple(trial_seeds[lo:lo + shard])
-            tasks.append((d, g, chunk, backend, sim_backend))
+            tasks.append((d, g, chunk, config_fields))
             task_config.append(ci)
 
     shards: list[tuple[list[int], bool, int, int]] | None = None
@@ -275,7 +344,7 @@ def run_parallel_sweep(
         except (OSError, BrokenProcessPool):  # pragma: no cover - sandboxed hosts
             shards = None
     if shards is None:
-        shards = [_theorem2_shard(task) for task in tasks]
+        shards = [_theorem2_shard(task, session=shard_session) for task in tasks]
 
     # Merge shard results per configuration (set-union / AND, order-free).
     merged_slots: list[set[int]] = [set() for _ in configs]
@@ -300,7 +369,7 @@ def run_parallel_sweep(
     }
     if shard_trials is not None:
         notes["trials per shard"] = shard
-    if cache_stats:
+    if config.cache_stats:
         notes["schedule cache"] = f"{hits} hits / {misses} misses"
     return ExperimentResult(
         experiment_id="E1p",
@@ -312,13 +381,52 @@ def run_parallel_sweep(
     )
 
 
+def run_parallel_sweep(
+    configs: Sequence[tuple[int, int]] = DEFAULT_CONFIGS,
+    trials: int = 3,
+    seed: int = 2002,
+    backend: str = "konig",
+    sim_backend: str = "batched",
+    max_workers: int | None = None,
+    shard_trials: int | None = None,
+    cache_stats: bool = False,
+) -> ExperimentResult:
+    """Theorem 2 sweep fanned across processes, optionally sharding trials.
+
+    .. deprecated:: 1.1
+        Use ``Session(RunConfig(...)).sweep(configs)`` instead.
+    """
+    warn_deprecated("run_parallel_sweep", "Session.sweep")
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if shard_trials is not None and shard_trials < 1:
+        raise ValueError(f"shard_trials must be positive, got {shard_trials}")
+    session = _shim_session(
+        backend=backend,
+        sim_backend=sim_backend,
+        trials=trials,
+        seed=seed,
+        workers=max_workers,
+        shard_trials=shard_trials,
+        cache_stats=cache_stats,
+    )
+    return _parallel_sweep(session, configs=configs)
+
+
 # ---------------------------------------------------------------------------
 # E2 — Figure 3 worked example
 # ---------------------------------------------------------------------------
 
 
-def run_figure3_example(backend: str = "konig") -> ExperimentResult:
-    """E2: the POPS(3,3) example of Figure 3 routes in two slots via a fair distribution."""
+@EXPERIMENTS.register("E2")
+def _figure3_example(session: Session) -> ExperimentResult:
+    """E2: the POPS(3,3) example of Figure 3 routes in two slots via a fair distribution.
+
+    The worked example is fully deterministic — the permutation is fixed by
+    Figure 3 and the router draws no randomness — so this experiment consumes
+    the session's seed lineage trivially (no derived seeds needed).
+    """
+    backend = session.config.router_backend
     network = POPSNetwork(3, 3)
     pi = figure3_permutation()
     router = PermutationRouter(network, backend=backend)
@@ -362,15 +470,27 @@ def run_figure3_example(backend: str = "konig") -> ExperimentResult:
     )
 
 
+def run_figure3_example(backend: str = "konig") -> ExperimentResult:
+    """E2: the POPS(3,3) example of Figure 3 routes in two slots via a fair distribution.
+
+    .. deprecated:: 1.1
+        Use ``Session(RunConfig(...)).experiment("E2")`` instead.
+    """
+    warn_deprecated("run_figure3_example", "Session.experiment('E2')")
+    return _figure3_example(_shim_session(backend=backend))
+
+
 # ---------------------------------------------------------------------------
 # E3 — Remark 1 scaling of the fair-distribution computation
 # ---------------------------------------------------------------------------
 
 
-def run_scaling_experiment(
+@EXPERIMENTS.register("E3")
+def _scaling_experiment(
+    session: Session,
     g_values: Sequence[int] = (4, 8, 16, 32),
     backends: Sequence[str] = ("konig", "euler"),
-    trials: int = 3,
+    trials: int | None = None,
     seed: int = 7,
 ) -> ExperimentResult:
     """E3: fair-distribution computation time vs g (d = g) for both backends.
@@ -379,6 +499,7 @@ def run_scaling_experiment(
     Rizzi) bottlenecks; this experiment reports measured times so the growth
     *shape* can be compared.  Absolute times depend on the Python substrate.
     """
+    trials = session.config.trials if trials is None else trials
     rng = resolve_rng(seed)
     rows: list[list[Any]] = []
     for g in g_values:
@@ -408,16 +529,34 @@ def run_scaling_experiment(
     )
 
 
+def run_scaling_experiment(
+    g_values: Sequence[int] = (4, 8, 16, 32),
+    backends: Sequence[str] = ("konig", "euler"),
+    trials: int = 3,
+    seed: int = 7,
+) -> ExperimentResult:
+    """E3: fair-distribution computation time vs g (d = g) for both backends.
+
+    .. deprecated:: 1.1
+        Use ``Session(RunConfig(...)).experiment("E3")`` instead.
+    """
+    warn_deprecated("run_scaling_experiment", "Session.experiment('E3')")
+    return _scaling_experiment(
+        _shim_session(trials=trials), g_values=g_values, backends=backends, seed=seed
+    )
+
+
 # ---------------------------------------------------------------------------
 # E4 — Propositions 1–3 lower bounds
 # ---------------------------------------------------------------------------
 
 
-def run_lower_bound_experiment(
+@EXPERIMENTS.register("E4")
+def _lower_bound_experiment(
+    session: Session,
     configs: Sequence[tuple[int, int]] = ((4, 4), (8, 4), (9, 3), (6, 6), (16, 4)),
-    trials: int = 3,
+    trials: int | None = None,
     seed: int = 11,
-    backend: str = "konig",
 ) -> ExperimentResult:
     """E4: measured slots versus the lower bounds of Propositions 1–3.
 
@@ -426,6 +565,7 @@ def run_lower_bound_experiment(
     and fixed-point-free within-group permutations (Prop. 3's hypotheses with
     the group map equal to the identity).
     """
+    trials = session.config.trials if trials is None else trials
     rows: list[list[Any]] = []
     for d, g in configs:
         network = POPSNetwork(d, g)
@@ -447,7 +587,7 @@ def run_lower_bound_experiment(
                     bound = proposition3_lower_bound(network, pi)
                 if bound is None:
                     continue
-                metrics = measure_routing(network, pi, backend=backend)
+                metrics = session.route(pi, network=network)
                 rows.append(
                     [
                         d,
@@ -472,6 +612,23 @@ def run_lower_bound_experiment(
     )
 
 
+def run_lower_bound_experiment(
+    configs: Sequence[tuple[int, int]] = ((4, 4), (8, 4), (9, 3), (6, 6), (16, 4)),
+    trials: int = 3,
+    seed: int = 11,
+    backend: str = "konig",
+) -> ExperimentResult:
+    """E4: measured slots versus the lower bounds of Propositions 1–3.
+
+    .. deprecated:: 1.1
+        Use ``Session(RunConfig(...)).experiment("E4")`` instead.
+    """
+    warn_deprecated("run_lower_bound_experiment", "Session.experiment('E4')")
+    return _lower_bound_experiment(
+        _shim_session(backend=backend, trials=trials), configs=configs, seed=seed
+    )
+
+
 def _within_group_derangement(
     network: POPSNetwork, generator: PermutationGenerator
 ) -> list[int]:
@@ -493,7 +650,8 @@ def _within_group_derangement(
 # ---------------------------------------------------------------------------
 
 
-def run_unification_experiment(backend: str = "konig") -> ExperimentResult:
+@EXPERIMENTS.register("E5")
+def _unification_experiment(session: Session) -> ExperimentResult:
     """E5: the universal router matches every specialised slot count from Section 2.
 
     Hypercube dimension exchanges and mesh row/column shifts ([Sahni 2000b]),
@@ -508,7 +666,7 @@ def run_unification_experiment(backend: str = "konig") -> ExperimentResult:
     ) -> None:
         network = POPSNetwork(d, g)
         if method == "router":
-            metrics = measure_routing(network, pi, backend=backend)
+            metrics = session.route(pi, network=network)
             slots = metrics.slots
         else:
             direct = DirectRouter(network)
@@ -569,16 +727,27 @@ def run_unification_experiment(backend: str = "konig") -> ExperimentResult:
     )
 
 
+def run_unification_experiment(backend: str = "konig") -> ExperimentResult:
+    """E5: the universal router matches every specialised slot count from Section 2.
+
+    .. deprecated:: 1.1
+        Use ``Session(RunConfig(...)).experiment("E5")`` instead.
+    """
+    warn_deprecated("run_unification_experiment", "Session.experiment('E5')")
+    return _unification_experiment(_shim_session(backend=backend))
+
+
 # ---------------------------------------------------------------------------
 # E6 — universal router vs single-hop baseline
 # ---------------------------------------------------------------------------
 
 
-def run_direct_comparison(
+@EXPERIMENTS.register("E6")
+def _direct_comparison(
+    session: Session,
     configs: Sequence[tuple[int, int]] = ((4, 4), (8, 4), (16, 4), (32, 4), (8, 8), (16, 8)),
-    trials: int = 3,
+    trials: int | None = None,
     seed: int = 23,
-    backend: str = "konig",
 ) -> ExperimentResult:
     """E6: two-hop universal routing vs the single-hop baseline.
 
@@ -587,6 +756,7 @@ def run_direct_comparison(
     the direct baseline is usually competitive.  The crossover is the point the
     paper's worst-case guarantee is about.
     """
+    trials = session.config.trials if trials is None else trials
     rows: list[list[Any]] = []
     for d, g in configs:
         network = POPSNetwork(d, g)
@@ -600,7 +770,7 @@ def run_direct_comparison(
                     if kind == "group_blocked"
                     else generator.uniform()
                 )
-                metrics = measure_routing(network, pi, backend=backend)
+                metrics = session.route(pi, network=network)
                 universal_slots.append(metrics.slots)
                 direct_slots.append(DirectRouter(network).slots_required(pi))
             mean_universal = sum(universal_slots) / len(universal_slots)
@@ -634,12 +804,31 @@ def run_direct_comparison(
     )
 
 
+def run_direct_comparison(
+    configs: Sequence[tuple[int, int]] = ((4, 4), (8, 4), (16, 4), (32, 4), (8, 8), (16, 8)),
+    trials: int = 3,
+    seed: int = 23,
+    backend: str = "konig",
+) -> ExperimentResult:
+    """E6: two-hop universal routing vs the single-hop baseline.
+
+    .. deprecated:: 1.1
+        Use ``Session(RunConfig(...)).experiment("E6")`` instead.
+    """
+    warn_deprecated("run_direct_comparison", "Session.experiment('E6')")
+    return _direct_comparison(
+        _shim_session(backend=backend, trials=trials), configs=configs, seed=seed
+    )
+
+
 # ---------------------------------------------------------------------------
 # E7 — single-slot routability
 # ---------------------------------------------------------------------------
 
 
-def run_one_slot_fraction(
+@EXPERIMENTS.register("E7")
+def _one_slot_fraction(
+    session: Session,
     configs: Sequence[tuple[int, int]] = ((1, 8), (2, 4), (2, 8), (4, 4), (3, 9)),
     trials: int = 200,
     seed: int = 31,
@@ -672,19 +861,49 @@ def run_one_slot_fraction(
     )
 
 
+def run_one_slot_fraction(
+    configs: Sequence[tuple[int, int]] = ((1, 8), (2, 4), (2, 8), (4, 4), (3, 9)),
+    trials: int = 200,
+    seed: int = 31,
+) -> ExperimentResult:
+    """E7: how rare single-slot routable permutations are, and that the one-slot
+    router handles exactly that class (Fact 1 / Gravenstreter–Melhem).
+
+    .. deprecated:: 1.1
+        Use ``Session(RunConfig(...)).experiment("E7")`` instead.
+    """
+    warn_deprecated("run_one_slot_fraction", "Session.experiment('E7')")
+    return _one_slot_fraction(
+        _shim_session(), configs=configs, trials=trials, seed=seed
+    )
+
+
 # ---------------------------------------------------------------------------
 # E8 — collective algorithms on top of the router
 # ---------------------------------------------------------------------------
 
 
-def run_collectives_experiment(backend: str = "konig", seed: int = 41) -> ExperimentResult:
+@EXPERIMENTS.register("E8")
+def _collectives_experiment(
+    session: Session, seed: int | None = None
+) -> ExperimentResult:
     """E8: the algorithm catalogue built on the universal router.
 
     Broadcast (1 slot), all-reduce and prefix sum (2⌈d/g⌉·log2 n slots), matrix
     transpose (router vs direct) and Cannon matrix multiplication, each
     executed on the simulator and checked against a local reference.
+
+    Trial seeds follow the sweep lineage: one root seed (the session's
+    ``RunConfig.seed`` unless overridden) derives an independent seed per
+    random section — the all-reduce/prefix data of each network and the
+    Cannon operands — exactly as sharded sweeps derive per-trial seeds, so
+    any section reproduces in isolation from the root seed alone.
     """
-    rng = resolve_rng(seed)
+    backend = session.config.router_backend
+    root_seed = session.config.seed if seed is None else seed
+    # One derived seed per random section: data for (4, 8), data for (8, 4),
+    # and the Cannon operand matrices.
+    section_seeds = _trial_seeds(root_seed, 3)
     rows: list[list[Any]] = []
 
     # Broadcast: 1 slot on any network.
@@ -695,7 +914,8 @@ def run_collectives_experiment(backend: str = "konig", seed: int = 41) -> Experi
     )
 
     # All-reduce and prefix sum on d <= g and d > g networks.
-    for d, g in ((4, 8), (8, 4)):
+    for (d, g), section_seed in zip(((4, 8), (8, 4)), section_seeds):
+        rng = resolve_rng(section_seed)
         network = POPSNetwork(d, g)
         n = network.n
         data = [rng.randint(0, 100) for _ in range(n)]
@@ -738,9 +958,10 @@ def run_collectives_experiment(backend: str = "konig", seed: int = 41) -> Experi
     rows.append(["transpose (direct)", 6, 6, 1, slots, bool((transposed == matrix.T).all())])
 
     # Cannon matrix multiplication on a 4x4 mesh of 16 processors.
+    cannon_rng = resolve_rng(section_seeds[2])
     network = POPSNetwork(4, 4)
-    a = np.array([[rng.uniform(-1, 1) for _ in range(4)] for _ in range(4)])
-    b = np.array([[rng.uniform(-1, 1) for _ in range(4)] for _ in range(4)])
+    a = np.array([[cannon_rng.uniform(-1, 1) for _ in range(4)] for _ in range(4)])
+    b = np.array([[cannon_rng.uniform(-1, 1) for _ in range(4)] for _ in range(4)])
     product, slots = cannon_matrix_multiply(network, a, b, backend=backend)
     expected_cannon_slots = theorem2_slot_bound(4, 4) * (2 + 2 * 3)
     rows.append(
@@ -764,7 +985,23 @@ def run_collectives_experiment(backend: str = "konig", seed: int = 41) -> Experi
     )
 
 
-#: Registry used by the CLI: experiment id -> zero-argument runner.
+def run_collectives_experiment(backend: str = "konig", seed: int = 41) -> ExperimentResult:
+    """E8: the algorithm catalogue built on the universal router.
+
+    .. deprecated:: 1.1
+        Use ``Session(RunConfig(...)).experiment("E8")`` instead.
+    """
+    warn_deprecated("run_collectives_experiment", "Session.experiment('E8')")
+    return _collectives_experiment(_shim_session(backend=backend), seed=seed)
+
+
+#: Legacy registry: experiment id -> zero-argument runner.
+#:
+#: .. deprecated:: 1.1
+#:     The entries are the deprecated free functions (each emits a
+#:     ``DeprecationWarning``); resolve experiments through
+#:     :data:`repro.api.registry.EXPERIMENTS` /
+#:     :meth:`repro.api.session.Session.experiment` instead.
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "E1": run_theorem2_sweep,
     "E1p": run_parallel_sweep,

@@ -3,6 +3,10 @@
 These helpers wrap "route the permutation, simulate the schedule, verify
 delivery, and summarise" into one call, so experiments never accidentally
 report slot counts of schedules that were not actually validated end to end.
+
+The supported entry point is :meth:`repro.api.session.Session.route`; the
+module-level :func:`measure_routing` free function is kept as a one-release
+deprecation shim over a session bound to the process-wide schedule cache.
 """
 
 from __future__ import annotations
@@ -10,6 +14,7 @@ from __future__ import annotations
 import hashlib
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -20,6 +25,9 @@ from repro.routing.permutation_router import (
     PermutationRouter,
     theorem2_slot_bound,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pops.engine import ScheduleCache
 
 __all__ = [
     "RoutingMetrics",
@@ -55,6 +63,28 @@ class RoutingMetrics:
             return float("inf")
         return self.slots / self.lower_bound
 
+    def to_dict(self) -> dict[str, Any]:
+        """All fields plus the derived properties, as a JSON-ready dict.
+
+        An infinite ``optimality_ratio`` (no applicable lower bound) encodes
+        as ``None`` — strict JSON has no ``Infinity``.
+        """
+        from repro.api.serialize import to_jsonable
+
+        ratio = self.optimality_ratio
+        return {
+            "d": self.d,
+            "g": self.g,
+            "n": self.n,
+            "slots": self.slots,
+            "theorem2_bound": self.theorem2_bound,
+            "lower_bound": self.lower_bound,
+            "couplers_used_total": to_jsonable(self.couplers_used_total),
+            "mean_coupler_utilisation": to_jsonable(self.mean_coupler_utilisation),
+            "meets_theorem2_bound": self.meets_theorem2_bound,
+            "optimality_ratio": to_jsonable(ratio),
+        }
+
 
 def routing_cache_key(
     backend: str, network: POPSNetwork, pi: Sequence[int]
@@ -72,6 +102,64 @@ def routing_cache_key(
     return (backend, network.d, network.g, digest)
 
 
+def _measure_routing(
+    network: POPSNetwork,
+    pi: Sequence[int],
+    *,
+    router_backend: str = "konig",
+    verify: bool = True,
+    sim_backend: str = "reference",
+    use_cache: bool = True,
+    cache: ScheduleCache | None = None,
+) -> RoutingMetrics:
+    """Route ``pi`` with the universal router, simulate, verify, and summarise.
+
+    The implementation behind :meth:`repro.api.session.Session.route`.
+    ``router_backend`` selects the edge-colouring backend of the router;
+    ``sim_backend`` selects the simulator engine (any name registered in
+    :data:`repro.api.registry.SIM_ENGINES`).  On compiled engines the trace
+    stays compiled (integer arrays; statistics are numpy reductions — both
+    trace representations yield identical metrics, so no materialisation
+    happens here), and, with ``use_cache``, the lowered
+    schedule is memoised in ``cache`` (the process-wide cache when ``None``)
+    under ``(router backend, d, g, permutation)`` — sound because the router
+    is deterministic — so repeated measurements of the same permutation skip
+    lowering.  Hits come from re-measuring the same permutation in one
+    process: repeated sweeps with the same seed, named families, benchmark
+    loops.  A single sweep of *fresh* random permutations is all misses by
+    design (no sound key could collapse distinct permutations), which the
+    ``--cache-stats`` counters make visible; the cache's byte bound keeps
+    that case cheap.
+    """
+    router = PermutationRouter(network, backend=router_backend, verify=verify)
+    plan = router.route(pi)
+    simulator = POPSSimulator(network, backend=sim_backend)
+    # Every engine except the reference one gets the cache key: the reference
+    # engine has no compile step to memoise, while plugin engines registered
+    # in SIM_ENGINES may cache compiled artefacts exactly like "batched".
+    cache_key = (
+        routing_cache_key(router_backend, network, plan.permutation)
+        if use_cache and sim_backend != "reference"
+        else None
+    )
+    result = simulator.route_and_verify(
+        plan.schedule, plan.packets, cache_key=cache_key, cache=cache
+    )
+    trace = result.trace
+    return RoutingMetrics(
+        d=network.d,
+        g=network.g,
+        n=network.n,
+        slots=plan.n_slots,
+        theorem2_bound=theorem2_slot_bound(network.d, network.g),
+        lower_bound=best_known_lower_bound(network, pi),
+        couplers_used_total=trace.total_packets_moved,
+        mean_coupler_utilisation=trace.mean_coupler_utilisation(
+            network.n_couplers
+        ),
+    )
+
+
 def measure_routing(
     network: POPSNetwork,
     pi: Sequence[int],
@@ -82,43 +170,26 @@ def measure_routing(
 ) -> RoutingMetrics:
     """Route ``pi`` with the universal router, simulate, verify, and summarise.
 
-    ``backend`` selects the edge-colouring backend of the router;
-    ``sim_backend`` selects the simulator backend (``"reference"`` or the
-    vectorized ``"batched"`` engine — see :mod:`repro.pops.engine`).  On the
-    batched backend the trace stays compiled (integer arrays; statistics are
-    numpy reductions) and, with ``use_cache`` (the default), the lowered
-    schedule is cached under ``(router backend, d, g, permutation)`` — sound
-    because the router is deterministic — so repeated measurements of the
-    same permutation skip lowering.  Hits come from re-measuring the same
-    permutation in one process: repeated sweeps with the same seed, named
-    families, benchmark loops.  A single sweep of *fresh* random
-    permutations is all misses by design (no sound key could collapse
-    distinct permutations), which the ``--cache-stats`` counters make
-    visible; the cache's byte bound keeps that case cheap.
+    .. deprecated:: 1.1
+        Use :meth:`repro.api.session.Session.route` instead::
+
+            Session(RunConfig(router_backend=backend,
+                              sim_backend=sim_backend)).route(pi, network=network)
+
+        This shim delegates to a session bound to the process-wide schedule
+        cache (preserving its historical caching behaviour) and will be
+        removed in the next release.
     """
-    router = PermutationRouter(network, backend=backend, verify=verify)
-    plan = router.route(pi)
-    simulator = POPSSimulator(network, backend=sim_backend)
-    cache_key = (
-        routing_cache_key(backend, network, plan.permutation)
-        if use_cache and sim_backend == "batched"
-        else None
+    from repro.api import warn_deprecated
+    from repro.api.session import legacy_shim_session
+
+    warn_deprecated("measure_routing", "Session.route")
+    session = legacy_shim_session(
+        router_backend=backend,
+        sim_backend=sim_backend,
+        cache_policy="on" if use_cache else "off",
     )
-    result = simulator.route_and_verify(
-        plan.schedule, plan.packets, cache_key=cache_key
-    )
-    return RoutingMetrics(
-        d=network.d,
-        g=network.g,
-        n=network.n,
-        slots=plan.n_slots,
-        theorem2_bound=theorem2_slot_bound(network.d, network.g),
-        lower_bound=best_known_lower_bound(network, pi),
-        couplers_used_total=result.trace.total_packets_moved,
-        mean_coupler_utilisation=result.trace.mean_coupler_utilisation(
-            network.n_couplers
-        ),
-    )
+    return session.route(pi, network=network, verify=verify)
 
 
 def slots_vs_bound(network: POPSNetwork, slots: int) -> float:
@@ -128,4 +199,4 @@ def slots_vs_bound(network: POPSNetwork, slots: int) -> float:
 
 def coupler_utilisation(network: POPSNetwork, pi: Sequence[int], backend: str = "konig") -> float:
     """Mean fraction of couplers busy per slot for the routed permutation."""
-    return measure_routing(network, pi, backend=backend).mean_coupler_utilisation
+    return _measure_routing(network, pi, router_backend=backend).mean_coupler_utilisation

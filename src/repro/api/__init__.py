@@ -1,0 +1,77 @@
+"""Unified typed entry point for the reproduction.
+
+One validated :class:`~repro.api.config.RunConfig`, pluggable registries for
+router backends / simulator engines / experiments, and a
+:class:`~repro.api.session.Session` facade the CLI and the Python API share::
+
+    from repro.api import RunConfig, Session
+
+    session = Session(RunConfig(sim_backend="batched", seed=7))
+    session.route(pi, d=8, g=4)
+    session.sweep([(32, 32)])
+    session.experiment("E5")
+
+``Session`` and ``RunConfig`` are re-exported lazily so that core modules can
+import the registries at import time without creating a cycle through the
+analysis layer.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+from typing import Any
+
+from repro.api.registry import (
+    EXPERIMENTS,
+    ROUTER_BACKENDS,
+    SIM_ENGINES,
+    Registry,
+    ensure_builtin_backends,
+    ensure_experiments,
+)
+
+__all__ = [
+    "RunConfig",
+    "Session",
+    "derive_trial_seeds",
+    "to_jsonable",
+    "Registry",
+    "ROUTER_BACKENDS",
+    "SIM_ENGINES",
+    "EXPERIMENTS",
+    "ensure_builtin_backends",
+    "ensure_experiments",
+    "warn_deprecated",
+]
+
+#: Lazily resolved re-exports: attribute -> home module.
+_LAZY_EXPORTS = {
+    "RunConfig": "repro.api.config",
+    "Session": "repro.api.session",
+    "derive_trial_seeds": "repro.api.session",
+    "to_jsonable": "repro.api.serialize",
+}
+
+
+def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the one-release deprecation warning for a shimmed free function."""
+    warnings.warn(
+        f"{old} is deprecated and will be removed in the next release; "
+        f"use {new} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY_EXPORTS:
+        module = importlib.import_module(_LAZY_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,48 @@
+"""JSON-ready encoders for API results.
+
+``RunConfig.to_dict()``-style: every public result type exposes ``to_dict()``
+returning plain containers, and :func:`to_jsonable` is the shared coercion
+those encoders use — numpy scalars become Python scalars, arrays become
+lists, non-finite floats become ``None`` (strict JSON has no ``Infinity``),
+and unknown objects fall back to ``repr`` rather than failing the dump.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively coerce ``obj`` into JSON-serialisable plain containers."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return to_jsonable(float(obj))
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(item) for item in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        to_dict = getattr(obj, "to_dict", None)
+        if callable(to_dict):
+            return to_jsonable(to_dict())
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Mapping):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (Sequence, set, frozenset)):
+        return [to_jsonable(item) for item in obj]
+    return repr(obj)

@@ -1,5 +1,10 @@
 """Command-line interface: run the reproduction experiments from a terminal.
 
+Every subcommand lowers its flags into one validated
+:class:`~repro.api.config.RunConfig` (flags map 1:1 to config fields) and
+calls the :class:`~repro.api.session.Session` facade — the same entry point
+the Python API uses — so the CLI exercises no deprecated code paths.
+
 Examples
 --------
 Run every experiment and print their reports::
@@ -14,9 +19,10 @@ Route a named permutation family on a chosen network and show the metrics::
 
     pops-repro route --d 8 --g 4 --family vector_reversal
 
-Route on the vectorized batched simulator backend::
+Route on the vectorized batched simulator backend, as JSON::
 
-    pops-repro route --d 32 --g 32 --family perfect_shuffle --sim-backend batched
+    pops-repro route --d 32 --g 32 --family perfect_shuffle \\
+        --sim-backend batched --format json
 
 Fan the Theorem 2 sweep across worker processes::
 
@@ -31,17 +37,35 @@ compiled-schedule cache counters::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from collections.abc import Sequence
 
-from repro.analysis.experiments import ALL_EXPERIMENTS, run_parallel_sweep
-from repro.analysis.metrics import measure_routing
+import repro.analysis.experiments  # noqa: F401  (registers E1..E8)
+from repro.api.config import RunConfig
+from repro.api.registry import (
+    EXPERIMENTS,
+    ROUTER_BACKENDS,
+    SIM_ENGINES,
+    ensure_builtin_backends,
+)
+from repro.api.session import Session
 from repro.patterns.families import NAMED_FAMILIES, family_by_name
-from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
 
+ensure_builtin_backends()
+
 __all__ = ["main", "build_parser"]
+
+
+def _add_format_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json = machine-readable)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,9 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser("run", help="run one experiment by id (E1..E8)")
-    run.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS))
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS.names()))
+    _add_format_flag(run)
 
-    subparsers.add_parser("run-all", help="run every experiment")
+    run_all = subparsers.add_parser("run-all", help="run every experiment")
+    _add_format_flag(run_all)
 
     route = subparsers.add_parser(
         "route", help="route one permutation family and print the metrics"
@@ -73,16 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     route.add_argument(
         "--backend",
-        choices=("konig", "euler"),
+        choices=ROUTER_BACKENDS.names(),
         default="konig",
         help="edge-colouring backend for the fair distribution",
     )
     route.add_argument(
         "--sim-backend",
-        choices=POPSSimulator.BACKENDS,
+        choices=SIM_ENGINES.names(),
         default="reference",
         help="simulator backend (batched = vectorized fast path)",
     )
+    _add_format_flag(route)
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -98,13 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=2002, help="RNG seed")
     sweep.add_argument(
         "--backend",
-        choices=("konig", "euler"),
+        choices=ROUTER_BACKENDS.names(),
         default="konig",
         help="edge-colouring backend for the fair distribution",
     )
     sweep.add_argument(
         "--sim-backend",
-        choices=POPSSimulator.BACKENDS,
+        choices=SIM_ENGINES.names(),
         default="batched",
         help="simulator backend (batched = vectorized fast path)",
     )
@@ -130,21 +157,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report compiled-schedule cache hits/misses in the sweep notes",
     )
+    _add_format_flag(sweep)
 
     subparsers.add_parser("list", help="list experiments and permutation families")
     return parser
 
 
-def _command_run(experiment: str) -> int:
-    result = ALL_EXPERIMENTS[experiment]()
-    print(result.to_report())
+def _print_json(payload: object) -> None:
+    print(json.dumps(payload, indent=2))
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    session = Session(RunConfig.from_cli_args(args))
+    result = session.experiment(args.experiment)
+    if args.format == "json":
+        _print_json(result.to_dict())
+    else:
+        print(result.to_report())
     return 0 if result.all_pass else 1
 
 
-def _command_run_all() -> int:
+def _command_run_all(args: argparse.Namespace) -> int:
+    session = Session(RunConfig.from_cli_args(args))
+    if args.format == "json":
+        results = session.run_all()
+        _print_json({eid: result.to_dict() for eid, result in results.items()})
+        return 0 if all(r.all_pass for r in results.values()) else 1
+    # Text mode streams: print each report as its experiment finishes, so a
+    # long run shows progress and a mid-sequence failure leaves the completed
+    # reports on stdout.
     status = 0
-    for experiment_id in sorted(ALL_EXPERIMENTS):
-        result = ALL_EXPERIMENTS[experiment_id]()
+    for experiment_id in sorted(EXPERIMENTS.names()):
+        result = session.experiment(experiment_id)
         print(result.to_report())
         print()
         if not result.all_pass:
@@ -152,19 +196,29 @@ def _command_run_all() -> int:
     return status
 
 
-def _command_route(
-    d: int, g: int, family: str, backend: str, sim_backend: str = "reference"
-) -> int:
-    network = POPSNetwork(d, g)
-    pi = family_by_name(family, network.n)
-    metrics = measure_routing(network, pi, backend=backend, sim_backend=sim_backend)
-    print(f"network          : POPS(d={d}, g={g}), n={network.n}")
-    print(f"family           : {family}")
-    print(f"simulator        : {sim_backend}")
-    print(f"slots used       : {metrics.slots}")
-    print(f"theorem 2 bound  : {metrics.theorem2_bound}")
-    print(f"lower bound      : {metrics.lower_bound}")
-    print(f"coupler use/slot : {metrics.mean_coupler_utilisation:.3f}")
+def _command_route(args: argparse.Namespace) -> int:
+    config = RunConfig.from_cli_args(args)
+    session = Session(config)
+    network = POPSNetwork(args.d, args.g)
+    pi = family_by_name(args.family, network.n)
+    metrics = session.route(pi, network=network)
+    if args.format == "json":
+        _print_json(
+            {
+                "network": {"d": args.d, "g": args.g, "n": network.n},
+                "family": args.family,
+                "config": config.to_dict(),
+                "metrics": metrics.to_dict(),
+            }
+        )
+    else:
+        print(f"network          : POPS(d={args.d}, g={args.g}), n={network.n}")
+        print(f"family           : {args.family}")
+        print(f"simulator        : {config.resolved_sim_backend()}")
+        print(f"slots used       : {metrics.slots}")
+        print(f"theorem 2 bound  : {metrics.theorem2_bound}")
+        print(f"lower bound      : {metrics.lower_bound}")
+        print(f"coupler use/slot : {metrics.mean_coupler_utilisation:.3f}")
     return 0 if metrics.meets_theorem2_bound else 1
 
 
@@ -192,36 +246,20 @@ def _parse_sweep_configs(spec: str) -> list[tuple[int, int]]:
     return configs
 
 
-def _command_sweep(
-    configs: list[tuple[int, int]] | None,
-    trials: int,
-    seed: int,
-    backend: str,
-    sim_backend: str,
-    workers: int | None,
-    shard_trials: int | None = None,
-    cache_stats: bool = False,
-) -> int:
-    kwargs = {}
-    if configs is not None:
-        kwargs["configs"] = configs
-    result = run_parallel_sweep(
-        trials=trials,
-        seed=seed,
-        backend=backend,
-        sim_backend=sim_backend,
-        max_workers=workers,
-        shard_trials=shard_trials,
-        cache_stats=cache_stats,
-        **kwargs,
-    )
-    print(result.to_report())
+def _command_sweep(args: argparse.Namespace) -> int:
+    session = Session(RunConfig.from_cli_args(args))
+    result = session.sweep(args.configs)
+    if args.format == "json":
+        _print_json(result.to_dict())
+    else:
+        print(result.to_report())
     return 0 if result.all_pass else 1
 
 
 def _command_list() -> int:
     print("experiments:")
-    for experiment_id, runner in sorted(ALL_EXPERIMENTS.items()):
+    for experiment_id in sorted(EXPERIMENTS.names()):
+        runner = EXPERIMENTS.get(experiment_id)
         doc = (runner.__doc__ or "").strip().splitlines()[0]
         print(f"  {experiment_id}: {doc}")
     print("permutation families:")
@@ -236,24 +274,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         if args.command == "run":
-            return _command_run(args.experiment)
+            return _command_run(args)
         if args.command == "run-all":
-            return _command_run_all()
+            return _command_run_all(args)
         if args.command == "route":
-            return _command_route(
-                args.d, args.g, args.family, args.backend, args.sim_backend
-            )
+            return _command_route(args)
         if args.command == "sweep":
-            return _command_sweep(
-                args.configs,
-                args.trials,
-                args.seed,
-                args.backend,
-                args.sim_backend,
-                args.workers,
-                args.shard_trials,
-                args.cache_stats,
-            )
+            return _command_sweep(args)
         if args.command == "list":
             return _command_list()
     except BrokenPipeError:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.registry import ROUTER_BACKENDS
 from repro.exceptions import EdgeColoringError
 from repro.graph.euler import euler_split
 from repro.graph.matching import perfect_matching_regular
@@ -121,10 +122,18 @@ def _euler_color_recursive(
     )
 
 
+#: Built-in backends; kept as a plain dict for backwards compatibility.  The
+#: authoritative table is the ROUTER_BACKENDS registry below — new backends
+#: registered there (e.g. by plugins) are dispatchable without touching this
+#: module.
 COLORING_BACKENDS = {
     "konig": konig_edge_coloring,
     "euler": euler_split_edge_coloring,
 }
+
+for _name, _algorithm in COLORING_BACKENDS.items():
+    if _name not in ROUTER_BACKENDS:
+        ROUTER_BACKENDS.register(_name, _algorithm)
 
 
 def edge_color(graph: BipartiteMultigraph, backend: str = "konig") -> EdgeColoring:
@@ -135,15 +144,16 @@ def edge_color(graph: BipartiteMultigraph, backend: str = "konig") -> EdgeColori
     graph:
         A regular bipartite multigraph.
     backend:
-        ``"konig"`` or ``"euler"`` (see module docstring).
+        Any backend registered in
+        :data:`repro.api.registry.ROUTER_BACKENDS`; the built-ins are
+        ``"konig"`` and ``"euler"`` (see module docstring).
     """
-    try:
-        algorithm = COLORING_BACKENDS[backend]
-    except KeyError:
+    if backend not in ROUTER_BACKENDS:
         raise EdgeColoringError(
             f"unknown edge-colouring backend {backend!r}; "
-            f"available: {sorted(COLORING_BACKENDS)}"
-        ) from None
+            f"available: {sorted(ROUTER_BACKENDS.names())}"
+        )
+    algorithm = ROUTER_BACKENDS.get(backend)
     return algorithm(graph)
 
 

@@ -658,6 +658,7 @@ class BatchedSimulator:
         initial_buffers: dict[int, list[Packet]] | None = None,
         collect_trace: bool = True,
         cache_key: Hashable | None = None,
+        cache: ScheduleCache | None = None,
     ):
         """Compile and execute ``schedule``, packaging a ``SimulationResult``.
 
@@ -665,12 +666,14 @@ class BatchedSimulator:
         integer arrays end to end; statistics are numpy reductions and
         per-slot dicts are only built if ``trace.materialize()`` (or the
         ``trace.slots`` escape hatch) is called.  With ``collect_trace=False``
-        the trace is left empty.  ``cache_key`` is forwarded to
+        the trace is left empty.  ``cache_key`` and ``cache`` are forwarded to
         :meth:`compile`.
         """
         from repro.pops.simulator import SimulationResult
 
-        compiled = self.compile(schedule, packets, initial_buffers, cache_key=cache_key)
+        compiled = self.compile(
+            schedule, packets, initial_buffers, cache_key=cache_key, cache=cache
+        )
         loc = self.execute(compiled)
         trace = (
             self.compiled_trace(compiled) if collect_trace else SimulationTrace()
@@ -686,8 +689,9 @@ class BatchedSimulator:
         schedule: RoutingSchedule,
         packets: list[Packet],
         cache_key: Hashable | None = None,
+        cache: ScheduleCache | None = None,
     ):
         """Run ``schedule`` and assert every packet reached its destination."""
-        result = self.run(schedule, packets, cache_key=cache_key)
+        result = self.run(schedule, packets, cache_key=cache_key, cache=cache)
         result.verify_permutation_delivery(packets)
         return result

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.api.registry import SIM_ENGINES
 from repro.exceptions import (
     ConfigurationError,
     CouplerConflictError,
@@ -34,6 +36,9 @@ from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule, SlotProgram
 from repro.pops.topology import Coupler, POPSNetwork
 from repro.pops.trace import CompiledTrace, SimulationTrace, SlotTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pops.engine import ScheduleCache
 
 __all__ = ["POPSSimulator", "SimulationResult"]
 
@@ -124,15 +129,20 @@ class POPSSimulator:
         :class:`SimulationError`; when ``False`` the read silently yields
         nothing (useful for hand-written experimental schedules).
     backend:
-        ``"reference"`` (default) executes transmissions one Python object at
-        a time with full dynamic checking; ``"batched"`` lowers the schedule
-        to integer arrays and executes each slot as vectorized numpy
-        operations (see :mod:`repro.pops.engine`), falling back to the
-        reference path for schedules the fast path cannot express
-        (packet-duplicating broadcasts).  Both backends produce equivalent
-        results and traces; buffer ordering within a processor may differ.
+        Any engine registered in :data:`repro.api.registry.SIM_ENGINES`.
+        The built-in ``"reference"`` (default) executes transmissions one
+        Python object at a time with full dynamic checking; the built-in
+        ``"batched"`` lowers the schedule to integer arrays and executes each
+        slot as vectorized numpy operations (see :mod:`repro.pops.engine`),
+        falling back to the reference path for schedules the fast path cannot
+        express (packet-duplicating broadcasts).  Both backends produce
+        equivalent results and traces; buffer ordering within a processor may
+        differ.
     """
 
+    #: The built-in engines.  The authoritative table is the SIM_ENGINES
+    #: registry — engines registered there dispatch without touching this
+    #: class.
     BACKENDS = ("reference", "batched")
 
     def __init__(
@@ -141,9 +151,10 @@ class POPSSimulator:
         strict_receptions: bool = True,
         backend: str = "reference",
     ):
-        if backend not in self.BACKENDS:
+        if backend not in SIM_ENGINES:
             raise ConfigurationError(
-                f"unknown simulator backend {backend!r}; expected one of {self.BACKENDS}"
+                f"unknown simulator backend {backend!r}; "
+                f"expected one of {tuple(SIM_ENGINES.names())}"
             )
         self.network = network
         self.strict_receptions = strict_receptions
@@ -170,28 +181,39 @@ class POPSSimulator:
         packets: list[Packet],
         initial_buffers: dict[int, list[Packet]] | None = None,
         cache_key: Hashable | None = None,
+        cache: ScheduleCache | None = None,
     ) -> SimulationResult:
         """Execute ``schedule`` starting from ``packets`` at their sources.
 
-        The schedule is first statically validated, then executed slot by slot
-        with dynamic checks (buffer ownership, idle-coupler reads).
-        ``cache_key`` opts the batched backend into the compiled-schedule
-        cache (see :meth:`repro.pops.engine.BatchedSimulator.compile`); the
-        reference backend ignores it.
+        Dispatches to the engine registered under this simulator's backend
+        name in :data:`repro.api.registry.SIM_ENGINES`.  ``cache_key`` opts
+        compiled engines into the compiled-schedule cache (see
+        :meth:`repro.pops.engine.BatchedSimulator.compile`) and ``cache``
+        selects which cache to use (default: the process-wide one); the
+        reference engine ignores both.
         """
         if schedule.network != self.network:
             raise SimulationError(
                 f"schedule targets {schedule.network!r}, simulator holds {self.network!r}"
             )
-        if self.backend == "batched":
-            from repro.pops.engine import BatchedSimulator
+        engine = SIM_ENGINES.get(self.backend)
+        return engine(
+            self, schedule, packets, initial_buffers, cache_key=cache_key, cache=cache
+        )
 
-            try:
-                return BatchedSimulator(self.network, self.strict_receptions).run(
-                    schedule, packets, initial_buffers, cache_key=cache_key
-                )
-            except UnsupportedScheduleError:
-                pass  # schedule duplicates packets: reference path below
+    def run_reference(
+        self,
+        schedule: RoutingSchedule,
+        packets: list[Packet],
+        initial_buffers: dict[int, list[Packet]] | None = None,
+    ) -> SimulationResult:
+        """The reference slot-by-slot execution path.
+
+        Public so that fast-path engines registered in
+        :data:`repro.api.registry.SIM_ENGINES` can fall back to it for
+        schedules outside their model (as the batched engine does for
+        packet-duplicating broadcasts).
+        """
         schedule.validate()
         buffers = (
             {proc: list(held) for proc, held in initial_buffers.items()}
@@ -288,8 +310,56 @@ class POPSSimulator:
         schedule: RoutingSchedule,
         packets: list[Packet],
         cache_key: Hashable | None = None,
+        cache: ScheduleCache | None = None,
     ) -> SimulationResult:
         """Run ``schedule`` and assert every packet reached its destination."""
-        result = self.run(schedule, packets, cache_key=cache_key)
+        result = self.run(schedule, packets, cache_key=cache_key, cache=cache)
         result.verify_permutation_delivery(packets)
         return result
+
+
+# ---------------------------------------------------------------------------
+# Built-in engine registrations
+# ---------------------------------------------------------------------------
+#
+# An engine is a callable ``engine(simulator, schedule, packets,
+# initial_buffers, *, cache_key, cache) -> SimulationResult``.  Registering a
+# new name in SIM_ENGINES makes it dispatchable through
+# ``POPSSimulator(backend=...)`` (and therefore through RunConfig/Session and
+# the CLI) without touching this module.
+
+
+@SIM_ENGINES.register("reference")
+def _reference_engine(
+    simulator: POPSSimulator,
+    schedule: RoutingSchedule,
+    packets: list[Packet],
+    initial_buffers: dict[int, list[Packet]] | None = None,
+    *,
+    cache_key: Hashable | None = None,
+    cache: ScheduleCache | None = None,
+) -> SimulationResult:
+    """Slot-by-slot Python execution with full dynamic checking."""
+    return simulator.run_reference(schedule, packets, initial_buffers)
+
+
+@SIM_ENGINES.register("batched")
+def _batched_engine(
+    simulator: POPSSimulator,
+    schedule: RoutingSchedule,
+    packets: list[Packet],
+    initial_buffers: dict[int, list[Packet]] | None = None,
+    *,
+    cache_key: Hashable | None = None,
+    cache: ScheduleCache | None = None,
+) -> SimulationResult:
+    """Vectorized engine; falls back to the reference path for schedules that
+    duplicate packets (broadcast-style sends, multi-reader couplers)."""
+    from repro.pops.engine import BatchedSimulator
+
+    try:
+        return BatchedSimulator(simulator.network, simulator.strict_receptions).run(
+            schedule, packets, initial_buffers, cache_key=cache_key, cache=cache
+        )
+    except UnsupportedScheduleError:
+        return simulator.run_reference(schedule, packets, initial_buffers)

@@ -1,0 +1,317 @@
+"""Tests for the Session facade: caching, seed lineage, and shim parity.
+
+The parity tests are the acceptance criteria of the API redesign: every
+experiment must produce byte-identical output through
+``Session.experiment(...)`` and through the deprecated free function (whose
+``DeprecationWarning`` is captured), because the shims delegate to the same
+registered runner.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_collectives_experiment,
+    run_direct_comparison,
+    run_figure3_example,
+    run_lower_bound_experiment,
+    run_one_slot_fraction,
+    run_parallel_sweep,
+    run_scaling_experiment,
+    run_theorem2_sweep,
+    run_unification_experiment,
+)
+from repro.analysis.metrics import RoutingMetrics, measure_routing
+from repro.api import RunConfig, Session, derive_trial_seeds
+from repro.exceptions import ConfigurationError
+from repro.patterns.families import vector_reversal
+from repro.pops.engine import ScheduleCache, schedule_cache
+from repro.pops.topology import POPSNetwork
+
+
+class TestSessionBasics:
+    def test_default_session(self):
+        session = Session()
+        assert session.config == RunConfig()
+        assert isinstance(session.cache, ScheduleCache)
+        assert session.cache is not schedule_cache()
+
+    def test_cache_sized_by_config(self):
+        session = Session(RunConfig(cache_max_entries=3, cache_max_bytes=1024))
+        assert session.cache.max_entries == 3
+        assert session.cache.max_bytes == 1024
+
+    def test_explicit_cache_is_used(self):
+        cache = ScheduleCache()
+        assert Session(cache=cache).cache is cache
+
+    def test_rejects_non_config(self):
+        with pytest.raises(TypeError, match="config must be a RunConfig"):
+            Session({"seed": 1})
+
+    def test_trial_seeds_follow_the_lineage(self):
+        session = Session(RunConfig(seed=77))
+        assert session.trial_seeds(4) == derive_trial_seeds(77, 4)
+        assert session.trial_seeds(4, seed=5) == derive_trial_seeds(5, 4)
+
+    def test_simulator_factory_uses_config_engine(self):
+        session = Session(RunConfig(sim_backend="batched"))
+        assert session.simulator(POPSNetwork(2, 2)).backend == "batched"
+        assert Session().simulator(POPSNetwork(2, 2)).backend == "reference"
+
+
+class TestSessionRoute:
+    def test_route_by_dims_and_by_network(self):
+        session = Session()
+        by_dims = session.route(vector_reversal(16), d=4, g=4)
+        by_network = session.route(vector_reversal(16), network=POPSNetwork(4, 4))
+        assert isinstance(by_dims, RoutingMetrics)
+        assert by_dims == by_network
+        assert by_dims.slots == 2
+
+    def test_route_requires_a_network(self):
+        with pytest.raises(ConfigurationError, match="route\\(\\) needs"):
+            Session().route(vector_reversal(16))
+        with pytest.raises(ConfigurationError, match="route\\(\\) needs"):
+            Session().route(vector_reversal(16), d=4)
+
+    def test_route_uses_the_session_cache_not_the_global_one(self):
+        session = Session(RunConfig(sim_backend="batched"))
+        global_cache = schedule_cache()
+        before = (global_cache.hits, global_cache.misses)
+        pi = vector_reversal(16)
+        session.route(pi, d=4, g=4)
+        session.route(pi, d=4, g=4)
+        assert session.cache.stats()["misses"] == 1
+        assert session.cache.stats()["hits"] == 1
+        assert (global_cache.hits, global_cache.misses) == before
+        assert session.cache_stats() == session.cache.stats()
+
+    def test_cache_policy_off_skips_the_cache(self):
+        session = Session(RunConfig(sim_backend="batched", cache_policy="off"))
+        session.route(vector_reversal(16), d=4, g=4)
+        assert len(session.cache) == 0
+        assert session.cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_trace_modes_agree_on_metrics(self):
+        pi = vector_reversal(16)
+        compiled = Session(RunConfig(sim_backend="batched")).route(pi, d=4, g=4)
+        materialized = Session(
+            RunConfig(sim_backend="batched", trace_mode="materialized")
+        ).route(pi, d=4, g=4)
+        reference = Session().route(pi, d=4, g=4)
+        assert compiled == materialized == reference
+
+    def test_simulate_honours_trace_mode(self):
+        from repro.pops.trace import CompiledTrace, SimulationTrace
+        from repro.routing.permutation_router import PermutationRouter
+
+        network = POPSNetwork(4, 4)
+        plan = PermutationRouter(network).route(vector_reversal(16))
+
+        compiled_session = Session(RunConfig(sim_backend="batched"))
+        result = compiled_session.simulate(plan.schedule, plan.packets, verify=True)
+        assert isinstance(result.trace, CompiledTrace)
+
+        materialized_session = Session(
+            RunConfig(sim_backend="batched", trace_mode="materialized")
+        )
+        result = materialized_session.simulate(plan.schedule, plan.packets)
+        assert isinstance(result.trace, SimulationTrace)
+        assert result.n_slots == plan.n_slots
+
+
+class TestSweepAndRunAll:
+    def test_serial_sweep_uses_the_session_cache(self):
+        global_cache = schedule_cache()
+        before = (global_cache.hits, global_cache.misses)
+        session = Session(RunConfig(trials=2, workers=0, sim_backend="batched"))
+        session.sweep([(2, 2), (4, 4)])
+        assert session.cache.stats()["misses"] > 0
+        assert (global_cache.hits, global_cache.misses) == before
+
+    def test_sweep_honours_cache_policy_off(self):
+        global_cache = schedule_cache()
+        before_entries = len(global_cache)
+        session = Session(
+            RunConfig(trials=2, workers=0, sim_backend="batched", cache_policy="off")
+        )
+        session.sweep([(2, 2), (4, 4)])
+        assert session.cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert len(global_cache) == before_entries
+
+    def test_e1_uses_the_session_cache(self):
+        session = Session(RunConfig(sim_backend="batched"))
+        session.experiment("E1", configs=[(2, 2)], trials=2)
+        assert session.cache.stats()["misses"] > 0
+
+    def test_sweep_shard_merge_is_bit_identical(self):
+        configs = [(2, 2), (4, 4)]
+        base = RunConfig(trials=4, seed=11, workers=0, sim_backend="batched")
+        unsharded = Session(base).sweep(configs)
+        sharded = Session(base.replace(shard_trials=1)).sweep(configs)
+        assert sharded.rows == unsharded.rows
+
+    def test_run_all_covers_every_experiment_in_order(self):
+        session = Session()
+        # Tiny overrides keep this fast while still touching every runner.
+        results = {
+            "E1": session.experiment("E1", configs=[(2, 2)], trials=1),
+            "E2": session.experiment("E2"),
+        }
+        assert results["E1"].experiment_id == "E1"
+        assert results["E2"].experiment_id == "E2"
+        from repro.api.registry import EXPERIMENTS, ensure_experiments
+
+        ensure_experiments()
+        assert sorted(EXPERIMENTS.names()) == [
+            "E1", "E1p", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+        ]
+
+
+def _mask_floats(rows):
+    """Replace float cells (wall-clock timings, E3) with a placeholder."""
+    return [
+        ["<float>" if isinstance(cell, float) else cell for cell in row]
+        for row in rows
+    ]
+
+
+class TestShimParity:
+    """Session output == deprecated free-function output, warning captured."""
+
+    def _assert_parity(self, session_result, shim_result, mask_floats=False):
+        if mask_floats:
+            assert _mask_floats(session_result.rows) == _mask_floats(shim_result.rows)
+            session_result = session_result.__class__(
+                **{**session_result.__dict__, "rows": []}
+            )
+            shim_result = shim_result.__class__(**{**shim_result.__dict__, "rows": []})
+        assert session_result.to_report() == shim_result.to_report()
+        assert session_result.to_dict() == shim_result.to_dict()
+
+    def test_measure_routing_parity(self):
+        network = POPSNetwork(4, 4)
+        pi = vector_reversal(16)
+        via_session = Session(RunConfig(sim_backend="batched")).route(pi, network=network)
+        with pytest.deprecated_call():
+            via_shim = measure_routing(network, pi, sim_backend="batched")
+        assert via_session == via_shim
+
+    def test_e1_parity(self):
+        configs = [(2, 2), (4, 4)]
+        via_session = Session(RunConfig(trials=2, seed=123)).experiment(
+            "E1", configs=configs
+        )
+        with pytest.deprecated_call():
+            via_shim = run_theorem2_sweep(configs=configs, trials=2, seed=123)
+        self._assert_parity(via_session, via_shim)
+
+    def test_e1p_parity_with_sharding_and_cache_stats(self):
+        configs = [(2, 2), (4, 4)]
+        config = RunConfig(
+            trials=3, seed=9, workers=0, shard_trials=1,
+            cache_stats=True, sim_backend="batched",
+        )
+        schedule_cache().clear()
+        via_session = Session(config).sweep(configs)
+        schedule_cache().clear()
+        with pytest.deprecated_call():
+            via_shim = run_parallel_sweep(
+                configs=configs, trials=3, seed=9, max_workers=0,
+                shard_trials=1, cache_stats=True,
+            )
+        self._assert_parity(via_session, via_shim)
+        assert "schedule cache" in via_session.notes
+
+    def test_e2_parity(self):
+        via_session = Session().experiment("E2")
+        with pytest.deprecated_call():
+            via_shim = run_figure3_example()
+        self._assert_parity(via_session, via_shim)
+
+    def test_e3_parity_modulo_wall_clock(self):
+        via_session = Session(RunConfig(trials=1)).experiment("E3", g_values=(4,))
+        with pytest.deprecated_call():
+            via_shim = run_scaling_experiment(g_values=(4,), trials=1)
+        self._assert_parity(via_session, via_shim, mask_floats=True)
+
+    def test_e4_parity(self):
+        configs = ((4, 4), (6, 3))
+        via_session = Session(RunConfig(trials=1)).experiment("E4", configs=configs)
+        with pytest.deprecated_call():
+            via_shim = run_lower_bound_experiment(configs=configs, trials=1)
+        self._assert_parity(via_session, via_shim)
+
+    def test_e5_parity(self):
+        via_session = Session().experiment("E5")
+        with pytest.deprecated_call():
+            via_shim = run_unification_experiment()
+        self._assert_parity(via_session, via_shim)
+
+    def test_e6_parity(self):
+        configs = ((4, 4), (8, 4))
+        via_session = Session(RunConfig(trials=1)).experiment("E6", configs=configs)
+        with pytest.deprecated_call():
+            via_shim = run_direct_comparison(configs=configs, trials=1)
+        self._assert_parity(via_session, via_shim)
+
+    def test_e7_parity(self):
+        configs = ((1, 4), (2, 4))
+        via_session = Session().experiment("E7", configs=configs, trials=25)
+        with pytest.deprecated_call():
+            via_shim = run_one_slot_fraction(configs=configs, trials=25)
+        self._assert_parity(via_session, via_shim)
+
+    def test_e8_parity(self):
+        via_session = Session().experiment("E8", seed=41)
+        with pytest.deprecated_call():
+            via_shim = run_collectives_experiment(seed=41)
+        self._assert_parity(via_session, via_shim)
+
+    def test_e8_derives_from_the_config_seed_lineage(self):
+        # The satellite fix: E8's random sections derive from RunConfig.seed
+        # exactly as sharded sweeps derive trial seeds.
+        from_config = Session(RunConfig(seed=5)).experiment("E8")
+        from_override = Session().experiment("E8", seed=5)
+        assert from_config.to_report() == from_override.to_report()
+
+    def test_euler_backend_parity(self):
+        via_session = Session(RunConfig(router_backend="euler")).experiment("E2")
+        with pytest.deprecated_call():
+            via_shim = run_figure3_example(backend="euler")
+        self._assert_parity(via_session, via_shim)
+
+
+class TestDeprecationBehaviour:
+    def test_shims_warn_exactly_once_under_default_filters(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(2):  # same call site: the registry dedups to one
+                run_figure3_example()
+        messages = [
+            str(w.message)
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+            and "run_figure3_example" in str(w.message)
+        ]
+        assert len(messages) == 1
+        assert "Session.experiment('E2')" in messages[0]
+
+    def test_all_experiments_mapping_is_the_shims(self):
+        from repro.analysis.experiments import ALL_EXPERIMENTS
+
+        assert ALL_EXPERIMENTS["E2"] is run_figure3_example
+        with pytest.deprecated_call():
+            result = ALL_EXPERIMENTS["E2"]()
+        assert result.experiment_id == "E2"
+
+    def test_session_paths_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Session().experiment("E2")
+            Session().route(vector_reversal(16), d=4, g=4)
+            Session(RunConfig(workers=0, trials=1)).sweep([(2, 2)])

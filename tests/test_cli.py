@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+import warnings
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -80,3 +83,67 @@ class TestCommands:
         scripts = entry_points(group="console_scripts")
         names = {entry.name for entry in scripts}
         assert "pops-repro" in names
+
+
+class TestJsonFormat:
+    def test_route_json(self, capsys):
+        assert main(
+            ["route", "--d", "4", "--g", "4", "--sim-backend", "batched",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network"] == {"d": 4, "g": 4, "n": 16}
+        assert payload["family"] == "vector_reversal"
+        assert payload["config"]["sim_backend"] == "batched"
+        assert payload["metrics"]["slots"] == 2
+        assert payload["metrics"]["meets_theorem2_bound"] is True
+
+    def test_route_json_encodes_infinite_ratio_as_null(self, capsys):
+        # The identity permutation has no applicable lower bound (deterministic
+        # 0), so the ratio is infinite and must encode as JSON null.
+        assert main(
+            ["route", "--d", "2", "--g", "2", "--family", "identity",
+             "--format", "json"]
+        ) in (0, 1)
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["lower_bound"] == 0
+        assert payload["metrics"]["optimality_ratio"] is None
+
+    def test_sweep_json(self, capsys):
+        assert main(
+            ["sweep", "--configs", "2:2,3:2", "--trials", "1", "--workers", "0",
+             "--cache-stats", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "E1p"
+        assert payload["headers"][0] == "d"
+        assert payload["rows"][0][:2] == [2, 2]
+        assert payload["all_pass"] is True
+        assert "schedule cache" in payload["notes"]
+
+    def test_sweep_json_matches_text_rows(self, capsys):
+        args = ["sweep", "--configs", "2:2", "--trials", "1", "--workers", "0"]
+        assert main(args + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        text = capsys.readouterr().out
+        assert f"| {payload['rows'][0][0]} " in text  # same d column rendered
+
+    def test_run_json(self, capsys):
+        assert main(["run", "E2", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "E2"
+        assert payload["all_pass"] is True
+
+
+class TestCliUsesOnlyTheSessionLayer:
+    def test_cli_commands_emit_no_deprecation_warnings(self, capsys):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main(["run", "E2"]) == 0
+            assert main(["route", "--d", "2", "--g", "2"]) == 0
+            assert main(
+                ["sweep", "--configs", "2:2", "--trials", "1", "--workers", "0"]
+            ) == 0
+            assert main(["list"]) == 0
+        capsys.readouterr()
