@@ -1,0 +1,61 @@
+"""Machine-readable benchmark results: the shared ``--json PATH`` emitter.
+
+Every module under ``benchmarks/`` can record named result entries through the
+``bench_emit`` fixture (wired up in ``benchmarks/conftest.py``); when the run
+was started with ``--json PATH``, the collected entries are written to that
+path at session end as one JSON document::
+
+    pytest benchmarks/bench_collective_engine.py --json BENCH_collective.json
+
+The document shape is stable so successive PRs can track the performance
+trajectory by diffing files committed from CI runs::
+
+    {
+      "schema": 1,
+      "pytest_exit_status": 0,
+      "results": [
+        {"name": "collective_vs_reference_broadcast", "n": 1024,
+         "reference_seconds": ..., "collective_seconds": ..., "speedup": ...},
+        ...
+      ]
+    }
+
+Without ``--json`` the emitter still collects (the fixture always works) and
+simply never writes — benchmarks need no conditional plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["BenchmarkEmitter"]
+
+#: Bump when the document layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class BenchmarkEmitter:
+    """Collects benchmark result entries and writes them as one JSON file."""
+
+    def __init__(self, path: str | None):
+        self.path = Path(path) if path else None
+        self.entries: list[dict[str, Any]] = []
+
+    def record(self, name: str, **fields: Any) -> dict[str, Any]:
+        """Append one named result entry; returns it for further augmentation."""
+        entry: dict[str, Any] = {"name": name, **fields}
+        self.entries.append(entry)
+        return entry
+
+    def write(self, exit_status: int = 0) -> None:
+        """Write the collected entries to ``path`` (no-op without a path)."""
+        if self.path is None:
+            return
+        document = {
+            "schema": SCHEMA_VERSION,
+            "pytest_exit_status": int(exit_status),
+            "results": self.entries,
+        }
+        self.path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")

@@ -9,11 +9,44 @@ Run with::
 
 Benchmarks marked ``slow`` are skipped by default; opt in explicitly with
 ``-m slow`` (or ``-m ""`` to run everything).
+
+Pass ``--json PATH`` to additionally write the machine-readable results that
+benchmarks record through the ``bench_emit`` fixture (see
+``benchmarks/_emit.py``) — the artefact CI stores to track the performance
+trajectory across PRs.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from _emit import BenchmarkEmitter
+
+
+def pytest_addoption(parser):
+    """Register the shared ``--json PATH`` option for all benchmark modules."""
+    parser.addoption(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable benchmark results to PATH as JSON",
+    )
+
+
+def pytest_configure(config):
+    config._pops_bench_emitter = BenchmarkEmitter(config.getoption("--json"))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    emitter = getattr(session.config, "_pops_bench_emitter", None)
+    if emitter is not None:
+        emitter.write(exit_status=int(exitstatus))
+
+
+@pytest.fixture
+def bench_emit(request):
+    """Record one named benchmark result entry (written out under --json)."""
+    return request.config._pops_bench_emitter.record
 
 
 def pytest_collection_modifyitems(config, items):

@@ -15,8 +15,7 @@ from __future__ import annotations
 
 import random
 
-from repro import POPSNetwork, POPSSimulator, PermutationRouter, theorem2_slot_bound
-from repro.analysis.metrics import measure_routing
+from repro import POPSNetwork, POPSSimulator, PermutationRouter, Session, theorem2_slot_bound
 from repro.patterns.families import figure3_permutation, vector_reversal
 from repro.routing.lower_bounds import best_known_lower_bound
 from repro.utils.permutations import random_permutation
@@ -47,7 +46,7 @@ def main() -> None:
     # A uniformly random permutation routes in exactly the same number of slots.
     rng = random.Random(2002)
     pi = random_permutation(network.n, rng)
-    metrics = measure_routing(network, pi)
+    metrics = Session().route(pi, network=network)
     print("uniform random permutation")
     print(f"  slots used          : {metrics.slots}")
     print(f"  meets Theorem 2     : {metrics.meets_theorem2_bound}")

@@ -34,6 +34,7 @@ from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule, SlotProgram
 from repro.pops.simulator import POPSSimulator, SimulationResult
 from repro.pops.engine import BatchedSimulator
+from repro.pops.collective_engine import CollectiveSimulator
 from repro.routing.permutation_router import (
     PermutationRouter,
     RoutingPlan,
@@ -52,7 +53,7 @@ from repro.api.config import RunConfig
 from repro.api.session import Session
 from repro import exceptions
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "RunConfig",
@@ -65,6 +66,7 @@ __all__ = [
     "POPSSimulator",
     "SimulationResult",
     "BatchedSimulator",
+    "CollectiveSimulator",
     "PermutationRouter",
     "RoutingPlan",
     "theorem2_slot_bound",

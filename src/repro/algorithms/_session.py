@@ -1,0 +1,26 @@
+"""The default execution session shared by the collective algorithms."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
+
+__all__ = ["collective_session"]
+
+
+def collective_session(session: Session | None = None) -> Session:
+    """The session a collective algorithm executes on.
+
+    A caller-supplied session is used as-is (its engine, cache and seed
+    lineage apply); otherwise a fresh session on the ``auto`` engine is built,
+    so broadcast-style schedules run on the vectorized collective engine and
+    permutation rounds on the batched one.
+    """
+    from repro.api.config import RunConfig
+    from repro.api.session import Session
+
+    if session is not None:
+        return session
+    return Session(RunConfig(sim_backend="auto"))

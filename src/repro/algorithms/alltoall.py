@@ -10,36 +10,45 @@ These are the "data movement operations" flavour of the POPS literature
 * **gather** — every processor sends its value to one root: in-degree
   ``n - 1`` at the root.
 
-Each collective is executed end-to-end on the slot-accurate simulator and
-returns both the received data and the number of slots consumed, so the
-benchmarks can compare measured slot counts against the
-``h · 2⌈d/g⌉`` decomposition bound.
+Each collective is executed end-to-end on the slot-accurate simulator —
+through the :class:`~repro.api.session.Session` layer on the ``auto`` engine,
+so the consuming h-relation rounds run vectorized — and returns both the
+received data and the number of slots consumed, so the benchmarks can compare
+measured slot counts against the ``h · 2⌈d/g⌉`` decomposition bound.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
+from repro.algorithms._session import collective_session
 from repro.exceptions import ValidationError
 from repro.pops.packet import Packet
-from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
 from repro.routing.relation import HRelationRouter
 from repro.utils.validation import check_in_range
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
 
 __all__ = ["all_to_all_personalized", "scatter", "gather"]
 
 
 def _execute_relation(
-    network: POPSNetwork, packets: list[Packet], backend: str
+    network: POPSNetwork,
+    packets: list[Packet],
+    backend: str,
+    session: Session | None,
 ) -> tuple[dict[int, list[Packet]], int]:
     """Route ``packets`` as an h-relation, simulate, and return final buffers."""
+    if session is not None:
+        backend = session.config.router_backend
     router = HRelationRouter(network, backend=backend)
     plan = router.route_packets(packets)
-    simulator = POPSSimulator(network)
-    result = simulator.run(plan.schedule, packets)
-    result.verify_permutation_delivery(packets)
+    result = collective_session(session).simulate(
+        plan.schedule, packets, verify=True
+    )
     return result.buffers, plan.n_slots
 
 
@@ -47,6 +56,7 @@ def all_to_all_personalized(
     network: POPSNetwork,
     values: Sequence[Sequence[Any]],
     backend: str = "konig",
+    session: Session | None = None,
 ) -> tuple[list[list[Any]], int]:
     """Personalised all-to-all exchange.
 
@@ -65,7 +75,7 @@ def all_to_all_personalized(
         for j in range(n)
         if i != j
     ]
-    buffers, slots = _execute_relation(network, packets, backend)
+    buffers, slots = _execute_relation(network, packets, backend, session)
 
     received: list[list[Any]] = [[None] * n for _ in range(n)]
     for j in range(n):
@@ -80,6 +90,7 @@ def scatter(
     root: int,
     values: Sequence[Any],
     backend: str = "konig",
+    session: Session | None = None,
 ) -> tuple[list[Any], int]:
     """Scatter ``values[j]`` from ``root`` to every processor ``j``.
 
@@ -93,7 +104,7 @@ def scatter(
         for j in range(network.n)
         if j != root
     ]
-    buffers, slots = _execute_relation(network, packets, backend)
+    buffers, slots = _execute_relation(network, packets, backend, session)
     received: list[Any] = [None] * network.n
     received[root] = values[root]
     for j in range(network.n):
@@ -108,6 +119,7 @@ def gather(
     root: int,
     values: Sequence[Any],
     backend: str = "konig",
+    session: Session | None = None,
 ) -> tuple[list[Any], int]:
     """Gather every processor's value at ``root``.
 
@@ -122,7 +134,7 @@ def gather(
         for i in range(network.n)
         if i != root
     ]
-    buffers, slots = _execute_relation(network, packets, backend)
+    buffers, slots = _execute_relation(network, packets, backend, session)
     collected: list[Any] = [None] * network.n
     collected[root] = values[root]
     for packet in buffers[root]:

@@ -6,17 +6,26 @@ group.  This is the one-slot broadcast the paper describes when introducing
 the architecture, and it doubles as a smoke test that the simulator's
 broadcast semantics (non-consuming transmissions, one coupler read by many
 processors) match the model.
+
+Execution goes through the :class:`~repro.api.session.Session` layer on the
+``auto`` engine by default, which dispatches broadcast schedules to the
+vectorized multi-location :mod:`repro.pops.collective_engine` — the reference
+simulator is no longer on the path for any broadcast size.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from collections.abc import Hashable
+from typing import TYPE_CHECKING, Any
 
+from repro.algorithms._session import collective_session
 from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule
-from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
 from repro.utils.validation import check_in_range
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
 
 __all__ = ["one_to_all_broadcast", "execute_broadcast"]
 
@@ -49,15 +58,24 @@ def one_to_all_broadcast(
 
 
 def execute_broadcast(
-    network: POPSNetwork, speaker: int, payload: Any
+    network: POPSNetwork,
+    speaker: int,
+    payload: Any,
+    session: Session | None = None,
+    cache_key: Hashable | None = None,
 ) -> tuple[list[Any], int]:
     """Run the broadcast on the simulator; return the per-processor values and slots used.
 
-    Every processor (including the speaker) ends up with ``payload``.
+    Every processor (including the speaker) ends up with ``payload``.  Pass a
+    ``session`` to choose the engine/cache explicitly; ``cache_key`` memoises
+    the compiled schedule in the session's cache (sound only when the key
+    determines network, speaker *and* payload — see
+    :meth:`repro.pops.collective_engine.CollectiveSimulator.compile`).
     """
     schedule, packet = one_to_all_broadcast(network, speaker, payload)
-    simulator = POPSSimulator(network)
-    result = simulator.run(schedule, [packet])
+    result = collective_session(session).simulate(
+        schedule, [packet], cache_key=cache_key
+    )
     values: list[Any] = [None] * network.n
     for processor in network.processors():
         held = result.packets_at(processor)

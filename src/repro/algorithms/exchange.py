@@ -4,22 +4,33 @@ Every collective in :mod:`repro.algorithms` decomposes into rounds of
 "permute the processors' values according to ``π``, then combine locally".
 :class:`PermutationEngine` owns the permute step: it routes payload-carrying
 packets with the universal router (or any other router exposing ``route``),
-executes the schedule on the slot-accurate simulator, verifies delivery and
-returns both the new value vector and the number of slots consumed.  Slot
-counts accumulated by the engine are what benchmark E8 reports.
+executes the schedule through the :class:`~repro.api.session.Session` layer
+(default: the ``auto`` engine, which runs these consuming permutation rounds
+on the vectorized batched engine), verifies delivery and returns both the new
+value vector and the number of slots consumed.  Slot counts accumulated by
+the engine are what benchmark E8 reports.
+
+Compiled schedules are *not* memoised across rounds: the packets carry the
+round's values as payloads, and a cache hit would resurrect the first round's
+payload-carrying universe (the documented key contract of
+:meth:`repro.pops.engine.BatchedSimulator.compile`), so each round compiles
+fresh and only the execution is vectorized.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
+from repro.algorithms._session import collective_session
 from repro.exceptions import DeliveryError
 from repro.pops.packet import Packet
-from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
 from repro.routing.permutation_router import PermutationRouter
 from repro.utils.validation import check_permutation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
 
 __all__ = ["permute_values", "PermutationEngine"]
 
@@ -32,15 +43,27 @@ class PermutationEngine:
     network:
         The POPS network to run on.
     backend:
-        Edge-colouring backend forwarded to the universal router.
+        Edge-colouring backend forwarded to the universal router.  Ignored
+        when ``session`` is given (the session's ``router_backend`` wins).
     verify:
         When ``True`` every executed schedule is checked for correct delivery.
+    session:
+        Session supplying the simulator engine and schedule cache; defaults
+        to a fresh session on the ``auto`` engine.
     """
 
-    def __init__(self, network: POPSNetwork, backend: str = "konig", verify: bool = True):
+    def __init__(
+        self,
+        network: POPSNetwork,
+        backend: str = "konig",
+        verify: bool = True,
+        session: Session | None = None,
+    ):
         self.network = network
+        self.session = collective_session(session)
+        if session is not None:
+            backend = session.config.router_backend
         self.router = PermutationRouter(network, backend=backend, verify=verify)
-        self.simulator = POPSSimulator(network)
         self.verify = verify
         self.slots_used = 0
         self.rounds_executed = 0
@@ -61,9 +84,7 @@ class PermutationEngine:
         # The plan's schedule references Packet(source, destination) values that
         # compare equal to the payload-carrying ones (payload is excluded from
         # equality), so the same schedule moves the payloads.
-        result = self.simulator.run(plan.schedule, packets)
-        if self.verify:
-            result.verify_permutation_delivery(packets)
+        result = self.session.simulate(plan.schedule, packets, verify=self.verify)
         self.slots_used += plan.n_slots
         self.rounds_executed += 1
 
@@ -89,8 +110,9 @@ def permute_values(
     values: Sequence[Any],
     pi: Sequence[int],
     backend: str = "konig",
+    session: Session | None = None,
 ) -> tuple[list[Any], int]:
     """One-shot helper: permute ``values`` by ``pi`` and return ``(new_values, slots)``."""
-    engine = PermutationEngine(network, backend=backend)
+    engine = PermutationEngine(network, backend=backend, session=session)
     new_values = engine.permute(values, pi)
     return new_values, engine.slots_used

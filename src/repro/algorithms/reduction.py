@@ -13,13 +13,16 @@ reports.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.algorithms.exchange import PermutationEngine
 from repro.exceptions import ValidationError
 from repro.patterns.families import hypercube_exchange
 from repro.pops.topology import POPSNetwork
 from repro.utils.bitops import bit_length_exact, is_power_of_two
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
 
 __all__ = ["hypercube_allreduce", "data_sum"]
 
@@ -29,12 +32,16 @@ def hypercube_allreduce(
     values: Sequence[Any],
     combine: Callable[[Any, Any], Any],
     backend: str = "konig",
+    session: Session | None = None,
 ) -> tuple[list[Any], int]:
     """All-reduce ``values`` with the associative/commutative operator ``combine``.
 
     Returns ``(result_vector, slots_used)``; every entry of the result vector
     equals the reduction of all inputs.  The processor count must be a power of
-    two (the hypercube embedding of [Sahni 2000b]).
+    two (the hypercube embedding of [Sahni 2000b]).  Each exchange round
+    executes through the :class:`~repro.api.session.Session` layer (``session``
+    or a fresh ``auto``-engine session), so the rounds run on the vectorized
+    batched engine.
     """
     n = network.n
     if not is_power_of_two(n):
@@ -43,7 +50,7 @@ def hypercube_allreduce(
         )
     if len(values) != n:
         raise ValidationError(f"expected {n} values, got {len(values)}")
-    engine = PermutationEngine(network, backend=backend)
+    engine = PermutationEngine(network, backend=backend, session=session)
     current = list(values)
     for bit in range(bit_length_exact(n)):
         exchanged = engine.permute(current, hypercube_exchange(n, bit))
@@ -52,7 +59,10 @@ def hypercube_allreduce(
 
 
 def data_sum(
-    network: POPSNetwork, values: Sequence[float], backend: str = "konig"
+    network: POPSNetwork,
+    values: Sequence[float],
+    backend: str = "konig",
+    session: Session | None = None,
 ) -> tuple[float, int]:
     """Sum one value per processor; return ``(total, slots_used)``.
 
@@ -60,6 +70,6 @@ def data_sum(
     operation of [Sahni 2000b].
     """
     reduced, slots = hypercube_allreduce(
-        network, list(values), lambda a, b: a + b, backend=backend
+        network, list(values), lambda a, b: a + b, backend=backend, session=session
     )
     return reduced[0], slots

@@ -1,45 +1,27 @@
 """Analysis layer: metrics, experiment runners, and plain-text reporting.
 
 The experiment runners in :mod:`~repro.analysis.experiments` are the single
-source of truth for every entry of EXPERIMENTS.md; the benchmarks under
-``benchmarks/`` and the command-line interface both call into them.
+source of truth for every entry of EXPERIMENTS.md; they are registered in
+:data:`repro.api.registry.EXPERIMENTS` and executed through
+:meth:`repro.api.session.Session.experiment` — the benchmarks under
+``benchmarks/`` and the command-line interface both go through that layer.
 """
 
 from repro.analysis.metrics import (
     RoutingMetrics,
-    measure_routing,
+    routing_cache_key,
     slots_vs_bound,
     coupler_utilisation,
 )
 from repro.analysis.reporting import format_table, format_experiment_report
-from repro.analysis.experiments import (
-    ExperimentResult,
-    run_theorem2_sweep,
-    run_figure3_example,
-    run_scaling_experiment,
-    run_lower_bound_experiment,
-    run_unification_experiment,
-    run_direct_comparison,
-    run_one_slot_fraction,
-    run_collectives_experiment,
-    ALL_EXPERIMENTS,
-)
+from repro.analysis.experiments import ExperimentResult
 
 __all__ = [
     "RoutingMetrics",
-    "measure_routing",
+    "routing_cache_key",
     "slots_vs_bound",
     "coupler_utilisation",
     "format_table",
     "format_experiment_report",
     "ExperimentResult",
-    "run_theorem2_sweep",
-    "run_figure3_example",
-    "run_scaling_experiment",
-    "run_lower_bound_experiment",
-    "run_unification_experiment",
-    "run_direct_comparison",
-    "run_one_slot_fraction",
-    "run_collectives_experiment",
-    "ALL_EXPERIMENTS",
 ]

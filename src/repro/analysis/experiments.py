@@ -11,27 +11,28 @@ Runners are registered in :data:`repro.api.registry.EXPERIMENTS` under their
 experiment ids and executed through a :class:`repro.api.session.Session`,
 which supplies the router backend, simulator engine, schedule cache and the
 root of the seed lineage; per-experiment sizes remain overridable via
-``session.experiment(id, **overrides)``.  The historical free functions
-(``run_theorem2_sweep`` and friends) are kept as one-release deprecation
-shims that build an equivalent session and delegate.
+``session.experiment(id, **overrides)``.  (The historical free functions —
+``run_theorem2_sweep`` and friends, deprecated in 1.1 — were removed in 1.2
+along with the ``ALL_EXPERIMENTS`` mapping, per the one-release timeline.)
 """
 
 from __future__ import annotations
 
 import time
-from collections.abc import Callable, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from math import ceil
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.algorithms.alltoall import all_to_all_personalized, gather, scatter
 from repro.algorithms.broadcast import execute_broadcast
 from repro.algorithms.matrix import cannon_matrix_multiply, distributed_transpose
 from repro.algorithms.prefix_sum import hypercube_prefix_sum
 from repro.algorithms.reduction import hypercube_allreduce
 from repro.analysis.reporting import format_experiment_report
-from repro.api import EXPERIMENTS, warn_deprecated
+from repro.api import EXPERIMENTS
 from repro.patterns.families import (
     all_hypercube_exchanges,
     bit_reversal_permutation,
@@ -63,19 +64,7 @@ from repro.utils.rng import resolve_rng
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.session import Session
 
-__all__ = [
-    "ExperimentResult",
-    "run_theorem2_sweep",
-    "run_parallel_sweep",
-    "run_figure3_example",
-    "run_scaling_experiment",
-    "run_lower_bound_experiment",
-    "run_unification_experiment",
-    "run_direct_comparison",
-    "run_one_slot_fraction",
-    "run_collectives_experiment",
-    "ALL_EXPERIMENTS",
-]
+__all__ = ["ExperimentResult"]
 
 #: Default (d, g) sweep used by the permutation-routing experiments.  Covers
 #: all three regimes of Theorem 2 (d = 1, 1 < d <= g, d > g) plus the single
@@ -134,14 +123,6 @@ class ExperimentResult:
     def all_pass(self) -> bool:
         """True iff every row's final column (the per-row verdict) is truthy."""
         return all(bool(row[-1]) for row in self.rows)
-
-
-def _shim_session(backend: str = "konig", **config_fields: Any) -> Session:
-    """The session a deprecation shim delegates to (see
-    :func:`repro.api.session.legacy_shim_session`)."""
-    from repro.api.session import legacy_shim_session
-
-    return legacy_shim_session(router_backend=backend, **config_fields)
 
 
 # ---------------------------------------------------------------------------
@@ -272,27 +253,6 @@ def _theorem2_sweep(
     )
 
 
-def run_theorem2_sweep(
-    configs: Sequence[tuple[int, int]] = DEFAULT_CONFIGS,
-    trials: int = 3,
-    seed: int = 2002,
-    backend: str = "konig",
-    sim_backend: str = "reference",
-) -> ExperimentResult:
-    """E1: the universal router uses exactly 1 / 2⌈d/g⌉ slots on random permutations.
-
-    .. deprecated:: 1.1
-        Use ``Session(RunConfig(...)).experiment("E1")`` instead.
-    """
-    warn_deprecated("run_theorem2_sweep", "Session.experiment('E1')")
-    if trials < 1:
-        raise ValueError(f"trials must be positive, got {trials}")
-    session = _shim_session(
-        backend=backend, sim_backend=sim_backend, trials=trials, seed=seed
-    )
-    return _theorem2_sweep(session, configs=configs)
-
-
 @EXPERIMENTS.register("E1p")
 def _parallel_sweep(
     session: Session,
@@ -381,38 +341,6 @@ def _parallel_sweep(
     )
 
 
-def run_parallel_sweep(
-    configs: Sequence[tuple[int, int]] = DEFAULT_CONFIGS,
-    trials: int = 3,
-    seed: int = 2002,
-    backend: str = "konig",
-    sim_backend: str = "batched",
-    max_workers: int | None = None,
-    shard_trials: int | None = None,
-    cache_stats: bool = False,
-) -> ExperimentResult:
-    """Theorem 2 sweep fanned across processes, optionally sharding trials.
-
-    .. deprecated:: 1.1
-        Use ``Session(RunConfig(...)).sweep(configs)`` instead.
-    """
-    warn_deprecated("run_parallel_sweep", "Session.sweep")
-    if trials < 1:
-        raise ValueError(f"trials must be positive, got {trials}")
-    if shard_trials is not None and shard_trials < 1:
-        raise ValueError(f"shard_trials must be positive, got {shard_trials}")
-    session = _shim_session(
-        backend=backend,
-        sim_backend=sim_backend,
-        trials=trials,
-        seed=seed,
-        workers=max_workers,
-        shard_trials=shard_trials,
-        cache_stats=cache_stats,
-    )
-    return _parallel_sweep(session, configs=configs)
-
-
 # ---------------------------------------------------------------------------
 # E2 — Figure 3 worked example
 # ---------------------------------------------------------------------------
@@ -470,16 +398,6 @@ def _figure3_example(session: Session) -> ExperimentResult:
     )
 
 
-def run_figure3_example(backend: str = "konig") -> ExperimentResult:
-    """E2: the POPS(3,3) example of Figure 3 routes in two slots via a fair distribution.
-
-    .. deprecated:: 1.1
-        Use ``Session(RunConfig(...)).experiment("E2")`` instead.
-    """
-    warn_deprecated("run_figure3_example", "Session.experiment('E2')")
-    return _figure3_example(_shim_session(backend=backend))
-
-
 # ---------------------------------------------------------------------------
 # E3 — Remark 1 scaling of the fair-distribution computation
 # ---------------------------------------------------------------------------
@@ -526,23 +444,6 @@ def _scaling_experiment(
         headers=headers,
         rows=rows,
         notes={"trials per size": trials},
-    )
-
-
-def run_scaling_experiment(
-    g_values: Sequence[int] = (4, 8, 16, 32),
-    backends: Sequence[str] = ("konig", "euler"),
-    trials: int = 3,
-    seed: int = 7,
-) -> ExperimentResult:
-    """E3: fair-distribution computation time vs g (d = g) for both backends.
-
-    .. deprecated:: 1.1
-        Use ``Session(RunConfig(...)).experiment("E3")`` instead.
-    """
-    warn_deprecated("run_scaling_experiment", "Session.experiment('E3')")
-    return _scaling_experiment(
-        _shim_session(trials=trials), g_values=g_values, backends=backends, seed=seed
     )
 
 
@@ -609,23 +510,6 @@ def _lower_bound_experiment(
         headers=["d", "g", "workload", "lower bound", "slots", "theorem2 bound", "consistent"],
         rows=rows,
         notes={"trials per class": trials},
-    )
-
-
-def run_lower_bound_experiment(
-    configs: Sequence[tuple[int, int]] = ((4, 4), (8, 4), (9, 3), (6, 6), (16, 4)),
-    trials: int = 3,
-    seed: int = 11,
-    backend: str = "konig",
-) -> ExperimentResult:
-    """E4: measured slots versus the lower bounds of Propositions 1–3.
-
-    .. deprecated:: 1.1
-        Use ``Session(RunConfig(...)).experiment("E4")`` instead.
-    """
-    warn_deprecated("run_lower_bound_experiment", "Session.experiment('E4')")
-    return _lower_bound_experiment(
-        _shim_session(backend=backend, trials=trials), configs=configs, seed=seed
     )
 
 
@@ -727,16 +611,6 @@ def _unification_experiment(session: Session) -> ExperimentResult:
     )
 
 
-def run_unification_experiment(backend: str = "konig") -> ExperimentResult:
-    """E5: the universal router matches every specialised slot count from Section 2.
-
-    .. deprecated:: 1.1
-        Use ``Session(RunConfig(...)).experiment("E5")`` instead.
-    """
-    warn_deprecated("run_unification_experiment", "Session.experiment('E5')")
-    return _unification_experiment(_shim_session(backend=backend))
-
-
 # ---------------------------------------------------------------------------
 # E6 — universal router vs single-hop baseline
 # ---------------------------------------------------------------------------
@@ -804,23 +678,6 @@ def _direct_comparison(
     )
 
 
-def run_direct_comparison(
-    configs: Sequence[tuple[int, int]] = ((4, 4), (8, 4), (16, 4), (32, 4), (8, 8), (16, 8)),
-    trials: int = 3,
-    seed: int = 23,
-    backend: str = "konig",
-) -> ExperimentResult:
-    """E6: two-hop universal routing vs the single-hop baseline.
-
-    .. deprecated:: 1.1
-        Use ``Session(RunConfig(...)).experiment("E6")`` instead.
-    """
-    warn_deprecated("run_direct_comparison", "Session.experiment('E6')")
-    return _direct_comparison(
-        _shim_session(backend=backend, trials=trials), configs=configs, seed=seed
-    )
-
-
 # ---------------------------------------------------------------------------
 # E7 — single-slot routability
 # ---------------------------------------------------------------------------
@@ -858,23 +715,6 @@ def _one_slot_fraction(
         headers=["d", "g", "n", "samples", "routable", "fraction", "verified"],
         rows=rows,
         notes={},
-    )
-
-
-def run_one_slot_fraction(
-    configs: Sequence[tuple[int, int]] = ((1, 8), (2, 4), (2, 8), (4, 4), (3, 9)),
-    trials: int = 200,
-    seed: int = 31,
-) -> ExperimentResult:
-    """E7: how rare single-slot routable permutations are, and that the one-slot
-    router handles exactly that class (Fact 1 / Gravenstreter–Melhem).
-
-    .. deprecated:: 1.1
-        Use ``Session(RunConfig(...)).experiment("E7")`` instead.
-    """
-    warn_deprecated("run_one_slot_fraction", "Session.experiment('E7')")
-    return _one_slot_fraction(
-        _shim_session(), configs=configs, trials=trials, seed=seed
     )
 
 
@@ -985,31 +825,125 @@ def _collectives_experiment(
     )
 
 
-def run_collectives_experiment(backend: str = "konig", seed: int = 41) -> ExperimentResult:
-    """E8: the algorithm catalogue built on the universal router.
+# ---------------------------------------------------------------------------
+# E9 — collective schedules at scale on the vectorized engines
+# ---------------------------------------------------------------------------
 
-    .. deprecated:: 1.1
-        Use ``Session(RunConfig(...)).experiment("E8")`` instead.
+
+@EXPERIMENTS.register("E9")
+def _collective_scale_experiment(
+    session: Session,
+    broadcast_configs: Sequence[tuple[int, int]] = ((4, 4), (16, 16), (32, 32)),
+    seed: int | None = None,
+) -> ExperimentResult:
+    """E9: the collective catalogue executed end-to-end on the compiled engines.
+
+    Broadcast schedules run on the vectorized multi-location collective
+    engine, reduction and h-relation rounds on the batched engine — no
+    collective here touches the reference simulator, which is what unlocks
+    the larger network sizes (the default broadcast sweep tops out at
+    n = 1024).  Every row is verified against a local reference computation.
+
+    Seeds follow the sweep lineage: one root seed (the session's
+    ``RunConfig.seed`` unless overridden) derives an independent seed per
+    random section, so any section reproduces from the root seed alone.
     """
-    warn_deprecated("run_collectives_experiment", "Session.experiment('E8')")
-    return _collectives_experiment(_shim_session(backend=backend), seed=seed)
+    from repro.api.session import Session as _Session
 
+    backend = session.config.router_backend
+    engine = session.sim_backend("auto")
+    exec_session = _Session(
+        session.config.replace(sim_backend=engine), cache=session.cache
+    )
+    root_seed = session.config.seed if seed is None else seed
+    # One derived seed per random section: the all-reduce data of each
+    # network shape and the all-to-all/scatter/gather operand tables.
+    section_seeds = _trial_seeds(root_seed, 3)
+    rows: list[list[Any]] = []
 
-#: Legacy registry: experiment id -> zero-argument runner.
-#:
-#: .. deprecated:: 1.1
-#:     The entries are the deprecated free functions (each emits a
-#:     ``DeprecationWarning``); resolve experiments through
-#:     :data:`repro.api.registry.EXPERIMENTS` /
-#:     :meth:`repro.api.session.Session.experiment` instead.
-ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
-    "E1": run_theorem2_sweep,
-    "E1p": run_parallel_sweep,
-    "E2": run_figure3_example,
-    "E3": run_scaling_experiment,
-    "E4": run_lower_bound_experiment,
-    "E5": run_unification_experiment,
-    "E6": run_direct_comparison,
-    "E7": run_one_slot_fraction,
-    "E8": run_collectives_experiment,
-}
+    # One-slot broadcasts, growing n: the collective engine's home turf.
+    for d, g in broadcast_configs:
+        network = POPSNetwork(d, g)
+        speaker = network.n // 2
+        values, slots = execute_broadcast(
+            network, speaker=speaker, payload="token", session=exec_session,
+            cache_key=("E9-broadcast", d, g, speaker),
+        )
+        rows.append(
+            [
+                "one-to-all broadcast",
+                d,
+                g,
+                network.n,
+                1,
+                slots,
+                all(value == "token" for value in values),
+            ]
+        )
+
+    # All-reduce on d <= g and d > g shapes (permutation rounds, batched).
+    for (d, g), section_seed in zip(((4, 8), (8, 4)), section_seeds):
+        rng = resolve_rng(section_seed)
+        network = POPSNetwork(d, g)
+        data = [rng.randint(0, 100) for _ in range(network.n)]
+        expected_slots = theorem2_slot_bound(d, g) * (network.n.bit_length() - 1)
+        reduced, slots = hypercube_allreduce(
+            network, data, lambda a, b: a + b, session=exec_session
+        )
+        rows.append(
+            [
+                "hypercube all-reduce",
+                d,
+                g,
+                network.n,
+                expected_slots,
+                slots,
+                all(value == sum(data) for value in reduced),
+            ]
+        )
+
+    # h-relation collectives: all-to-all, scatter, gather (batched rounds).
+    rng = resolve_rng(section_seeds[2])
+    network = POPSNetwork(4, 4)
+    n = network.n
+    table = [[rng.randint(0, 999) for _ in range(n)] for _ in range(n)]
+    received, slots = all_to_all_personalized(network, table, session=exec_session)
+    bound = (n - 1) * theorem2_slot_bound(4, 4)
+    rows.append(
+        [
+            "all-to-all personalised",
+            4,
+            4,
+            n,
+            bound,
+            slots,
+            slots <= bound
+            and all(received[j][i] == table[i][j] for i in range(n) for j in range(n)),
+        ]
+    )
+    flat = [rng.randint(0, 999) for _ in range(n)]
+    scattered, slots = scatter(network, 3, flat, session=exec_session)
+    rows.append(
+        ["scatter", 4, 4, n, bound, slots, slots <= bound and scattered == flat]
+    )
+    collected, slots = gather(network, 3, flat, session=exec_session)
+    rows.append(
+        ["gather", 4, 4, n, bound, slots, slots <= bound and collected == flat]
+    )
+
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Collective schedules at scale on the compiled engines",
+        claim=(
+            "broadcast/multi-reader schedules run on the vectorized collective "
+            "engine (no reference fallback); reductions and h-relations on the "
+            "batched engine"
+        ),
+        headers=["collective", "d", "g", "n", "expected slots", "slots", "correct"],
+        rows=rows,
+        notes={
+            "backend": backend,
+            "simulator backend": engine,
+            "largest broadcast n": max(d * g for d, g in broadcast_configs),
+        },
+    )

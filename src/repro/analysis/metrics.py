@@ -4,9 +4,9 @@ These helpers wrap "route the permutation, simulate the schedule, verify
 delivery, and summarise" into one call, so experiments never accidentally
 report slot counts of schedules that were not actually validated end to end.
 
-The supported entry point is :meth:`repro.api.session.Session.route`; the
-module-level :func:`measure_routing` free function is kept as a one-release
-deprecation shim over a session bound to the process-wide schedule cache.
+The supported entry point is :meth:`repro.api.session.Session.route`.  (The
+``measure_routing`` free function deprecated in 1.1 was removed in 1.2, per
+the one-release timeline.)
 """
 
 from __future__ import annotations
@@ -31,7 +31,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "RoutingMetrics",
-    "measure_routing",
     "routing_cache_key",
     "slots_vs_bound",
     "coupler_utilisation",
@@ -158,38 +157,6 @@ def _measure_routing(
             network.n_couplers
         ),
     )
-
-
-def measure_routing(
-    network: POPSNetwork,
-    pi: Sequence[int],
-    backend: str = "konig",
-    verify: bool = True,
-    sim_backend: str = "reference",
-    use_cache: bool = True,
-) -> RoutingMetrics:
-    """Route ``pi`` with the universal router, simulate, verify, and summarise.
-
-    .. deprecated:: 1.1
-        Use :meth:`repro.api.session.Session.route` instead::
-
-            Session(RunConfig(router_backend=backend,
-                              sim_backend=sim_backend)).route(pi, network=network)
-
-        This shim delegates to a session bound to the process-wide schedule
-        cache (preserving its historical caching behaviour) and will be
-        removed in the next release.
-    """
-    from repro.api import warn_deprecated
-    from repro.api.session import legacy_shim_session
-
-    warn_deprecated("measure_routing", "Session.route")
-    session = legacy_shim_session(
-        router_backend=backend,
-        sim_backend=sim_backend,
-        cache_policy="on" if use_cache else "off",
-    )
-    return session.route(pi, network=network, verify=verify)
 
 
 def slots_vs_bound(network: POPSNetwork, slots: int) -> float:

@@ -19,7 +19,6 @@ analysis layer.
 from __future__ import annotations
 
 import importlib
-import warnings
 from typing import Any
 
 from repro.api.registry import (
@@ -42,7 +41,6 @@ __all__ = [
     "EXPERIMENTS",
     "ensure_builtin_backends",
     "ensure_experiments",
-    "warn_deprecated",
 ]
 
 #: Lazily resolved re-exports: attribute -> home module.
@@ -52,16 +50,6 @@ _LAZY_EXPORTS = {
     "derive_trial_seeds": "repro.api.session",
     "to_jsonable": "repro.api.serialize",
 }
-
-
-def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
-    """Emit the one-release deprecation warning for a shimmed free function."""
-    warnings.warn(
-        f"{old} is deprecated and will be removed in the next release; "
-        f"use {new} instead",
-        DeprecationWarning,
-        stacklevel=stacklevel,
-    )
 
 
 def __getattr__(name: str) -> Any:

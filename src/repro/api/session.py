@@ -14,9 +14,9 @@ lineage — and exposes the reproduction's capabilities as methods::
 
 Every simulator engine, router backend and experiment is resolved through the
 registries in :mod:`repro.api.registry`, so components registered by user
-code are first-class citizens here.  The deprecated free functions
-(``measure_routing``, ``run_theorem2_sweep``, …) are thin shims over a
-session bound to the process-wide schedule cache.
+code are first-class citizens here.  (The deprecated free functions —
+``measure_routing``, ``run_theorem2_sweep``, … — were removed in 1.2; the
+session methods are the only entry points.)
 """
 
 from __future__ import annotations
@@ -39,19 +39,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.analysis.metrics import RoutingMetrics
 
 __all__ = ["Session", "derive_trial_seeds"]
-
-
-def legacy_shim_session(**config_fields: Any) -> Session:
-    """The session a deprecated free function delegates to.
-
-    Bound to the process-wide schedule cache so shimmed calls keep their
-    historical caching behaviour (global counters included).  Used by the
-    one-release shims in :mod:`repro.analysis.metrics` and
-    :mod:`repro.analysis.experiments`; removed with them.
-    """
-    from repro.pops.engine import schedule_cache
-
-    return Session(RunConfig(**config_fields), cache=schedule_cache())
 
 
 def derive_trial_seeds(seed: int, trials: int) -> list[int]:
@@ -201,7 +188,7 @@ class Session:
         return result
 
     def experiment(self, experiment_id: str, **overrides: Any) -> ExperimentResult:
-        """Run one registered experiment (``E1``..``E8``) under this session.
+        """Run one registered experiment (``E1``..``E9``) under this session.
 
         ``overrides`` are forwarded to the experiment runner (sizes, trial
         counts, seeds — whatever the runner parameterises); everything else

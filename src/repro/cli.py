@@ -24,6 +24,16 @@ Route on the vectorized batched simulator backend, as JSON::
     pops-repro route --d 32 --g 32 --family perfect_shuffle \\
         --sim-backend batched --format json
 
+Let the engine be picked by schedule shape (batched for consuming
+permutation schedules, batched-collective for packet-duplicating
+broadcast/collective schedules, reference as the last resort)::
+
+    pops-repro route --d 32 --g 32 --sim-backend auto
+
+Run the collective-scale experiment on the multi-location engine::
+
+    pops-repro run E9
+
 Fan the Theorem 2 sweep across worker processes::
 
     pops-repro sweep --configs 8:4,16:8,32:32 --workers 4
@@ -107,7 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sim-backend",
         choices=SIM_ENGINES.names(),
         default="reference",
-        help="simulator backend (batched = vectorized fast path)",
+        help=(
+            "simulator backend (batched = vectorized fast path, "
+            "batched-collective = vectorized multi-location engine for "
+            "broadcast/collective schedules, auto = pick by schedule shape)"
+        ),
     )
     _add_format_flag(route)
 

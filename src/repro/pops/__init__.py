@@ -23,6 +23,12 @@ from repro.pops.engine import (
     compile_schedule,
     schedule_cache,
 )
+from repro.pops.collective_engine import (
+    CollectiveCompiledSchedule,
+    CollectiveSimulator,
+    compile_collective_schedule,
+)
+from repro.pops.lowering import classify_schedule
 from repro.pops.trace import SlotTrace, SimulationTrace, CompiledTrace
 from repro.pops.render import (
     render_schedule,
@@ -47,8 +53,12 @@ __all__ = [
     "SimulationResult",
     "BatchedSimulator",
     "CompiledSchedule",
+    "CollectiveCompiledSchedule",
+    "CollectiveSimulator",
     "ScheduleCache",
+    "classify_schedule",
     "compile_schedule",
+    "compile_collective_schedule",
     "schedule_cache",
     "SlotTrace",
     "SimulationTrace",

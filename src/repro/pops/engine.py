@@ -11,21 +11,25 @@ holds the packet it drives.
 
 :func:`compile_schedule` therefore lowers a
 :class:`~repro.pops.schedule.RoutingSchedule` once into flat integer arrays
-(CSR-style, one segment per slot), performing every static check (wiring,
-coupler conflicts, receiver conflicts) vectorized, and
-:class:`BatchedSimulator` executes a slot as three numpy operations: one
-comparison for the dynamic buffer-ownership check and two scatters for the
-buffer commit.  Buffers are a single packet-location array ``loc`` with
-``loc[k]`` the processor currently holding packet ``k`` (or ``-1`` when the
-packet was consumed without being read).
+(CSR-style, one segment per slot) via the shared front end in
+:mod:`repro.pops.lowering` — flattening, vectorized static validation
+(wiring, coupler conflicts, receiver conflicts) and the reception/payload
+join are common to all compiled engines — and :class:`BatchedSimulator`
+executes a slot as three numpy operations: one comparison for the dynamic
+buffer-ownership check and two scatters for the buffer commit.  Buffers are a
+single packet-location array ``loc`` with ``loc[k]`` the processor currently
+holding packet ``k`` (or ``-1`` when the packet was consumed without being
+read).
 
 The engine covers the consume-and-deliver model used by permutation routing.
 Schedules that *duplicate* packets — non-consuming (broadcast-style) sends, or
 several processors reading the same coupler in one slot — cannot be expressed
 in a flat location array and raise
 :class:`~repro.exceptions.UnsupportedScheduleError` at compile time;
-``POPSSimulator(backend="batched")`` catches that and falls back to the
-reference implementation, so the switch is always safe to flip.
+``POPSSimulator(backend="batched")`` catches that and falls back, first to the
+vectorized multi-location :class:`~repro.pops.collective_engine.
+CollectiveSimulator` and ultimately to the reference implementation, so the
+switch is always safe to flip.
 
 Error parity with the reference simulator: static violations are raised before
 execution (the reference calls ``schedule.validate()`` up front, and the
@@ -46,6 +50,7 @@ from repro.exceptions import (
     SimulationError,
     UnsupportedScheduleError,
 )
+from repro.pops.lowering import group_firsts, lower_schedule
 from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule
 from repro.pops.topology import Coupler, POPSNetwork
@@ -140,8 +145,9 @@ class ScheduleCache:
     sweeps recompile identical schedules on every iteration: the same
     ``(router backend, permutation, d, g, n)`` always lowers to the same
     arrays.  Callers that can prove that determinism pass the corresponding
-    key (see :func:`repro.analysis.metrics.measure_routing`) and repeated
-    compilations become dictionary lookups.
+    key (:func:`repro.analysis.metrics.routing_cache_key`, as
+    :meth:`repro.api.session.Session.route` does) and repeated compilations
+    become dictionary lookups.
 
     The cache is doubly bounded — at most ``max_entries`` schedules *and*
     at most ``max_bytes`` of compiled arrays, FIFO-evicted — so sweeping
@@ -180,6 +186,16 @@ class ScheduleCache:
         else:
             self.hits += 1
         return compiled
+
+    def peek(self, key: Hashable) -> CompiledSchedule | None:
+        """Look up ``key`` without touching the hit/miss counters.
+
+        For dispatchers that only need to know *whether* a compiled entry
+        exists (the ``auto`` engine skips its schedule-shape probe on a hit);
+        the engine that actually consumes the entry still goes through
+        :meth:`get` and accounts for the access.
+        """
+        return self._entries.get(key)
 
     def put(self, key: Hashable, compiled: CompiledSchedule) -> None:
         """Store ``compiled`` under ``key``, FIFO-evicting until within bounds.
@@ -222,129 +238,6 @@ def schedule_cache() -> ScheduleCache:
     return _SCHEDULE_CACHE
 
 
-def _packet_universe(
-    network: POPSNetwork,
-    packets: list[Packet],
-    initial_buffers: dict[int, list[Packet]] | None,
-) -> tuple[list[Packet], np.ndarray]:
-    """The indexable packet list and initial location of every packet."""
-    if initial_buffers is not None:
-        universe = []
-        locations_l: list[int] = []
-        seen: set[Packet] = set()
-        for processor in sorted(initial_buffers):
-            for packet in initial_buffers[processor]:
-                if packet in seen:
-                    raise UnsupportedScheduleError(
-                        f"{packet!r} appears in more than one initial buffer; "
-                        "the batched engine tracks a single location per packet"
-                    )
-                seen.add(packet)
-                universe.append(packet)
-                locations_l.append(processor)
-        return universe, np.array(locations_l, dtype=np.int64)
-
-    universe = list(packets)
-    locations = np.array([p.source for p in universe], dtype=np.int64)
-    bad = np.flatnonzero((locations < 0) | (locations >= network.n))
-    if bad.size:
-        raise SimulationError(
-            f"{universe[int(bad[0])]!r} has source outside the network of size "
-            f"{network.n}"
-        )
-    return universe, locations
-
-
-def _resolve_packet_indices(
-    network: POPSNetwork,
-    universe: list[Packet],
-    initial_loc: np.ndarray,
-    pk_destination: np.ndarray,
-    schedule_packets: list[Packet],
-) -> tuple[np.ndarray, list[Packet], np.ndarray, np.ndarray]:
-    """Map every transmitted packet to its universe index by value.
-
-    The fast path indexes the universe by packet *source* — valid whenever
-    sources are unique, which covers every permutation-routing workload — and
-    never hashes a ``Packet``.  Duplicated sources, or schedule packets absent
-    from the universe, fall back to a dict keyed by packet value; unknown
-    packets are registered with no location so the dynamic ownership check
-    fails at the right slot with the reference error message.
-
-    Returns the index array plus the (possibly extended) universe, locations
-    and destination arrays.
-    """
-    n_tx = len(schedule_packets)
-    u_size = len(universe)
-    pk_source = np.array([p.source for p in universe], dtype=np.int64)
-    sources_unique = bool(((pk_source >= 0) & (pk_source < network.n)).all())
-    if sources_unique:
-        src_to_idx = np.full(network.n, -1, dtype=np.int64)
-        src_to_idx[pk_source] = np.arange(u_size, dtype=np.int64)
-        # Scatter-then-gather equals arange iff no source was written twice.
-        sources_unique = bool(
-            (src_to_idx[pk_source] == np.arange(u_size, dtype=np.int64)).all()
-        )
-    if sources_unique and n_tx and u_size:
-        t_src = np.array([p.source for p in schedule_packets], dtype=np.int64)
-        t_dst = np.array(
-            [p.destination for p in schedule_packets], dtype=np.int64
-        )
-        in_range = (t_src >= 0) & (t_src < network.n)
-        idx = np.where(in_range, src_to_idx[np.clip(t_src, 0, network.n - 1)], -1)
-        known = (idx >= 0) & (pk_destination[np.maximum(idx, 0)] == t_dst)
-        if known.all():
-            return idx, universe, initial_loc, pk_destination
-    else:
-        known = np.zeros(n_tx, dtype=bool)
-        idx = np.full(n_tx, -1, dtype=np.int64)
-
-    # Slow path: hash-based resolution (duplicate sources / unknown packets).
-    index_of: dict[Packet, int] = {}
-    for i, packet in enumerate(universe):
-        index_of.setdefault(packet, i)
-    extra_loc: list[int] = []
-    for i in np.flatnonzero(~known):
-        packet = schedule_packets[i]
-        j = index_of.get(packet)
-        if j is None:
-            j = len(universe)
-            index_of[packet] = j
-            universe.append(packet)
-            extra_loc.append(-1)
-        idx[i] = j
-    if extra_loc:
-        extra = np.array(extra_loc, dtype=np.int64)
-        initial_loc = np.concatenate((initial_loc, extra))
-        pk_destination = np.concatenate(
-            (
-                pk_destination,
-                np.array(
-                    [p.destination for p in universe[u_size:]], dtype=np.int64
-                ),
-            )
-        )
-    return idx, universe, initial_loc, pk_destination
-
-
-def _group_firsts(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Stable group-by on integer keys.
-
-    Returns ``(order, same, new_group)`` where ``order`` sorts ``keys``
-    stably, ``same[i]`` marks ``keys[order][i + 1] == keys[order][i]``, and
-    ``new_group`` flags the first (earliest, thanks to stability) element of
-    each key group within the sorted view.
-    """
-    order = np.argsort(keys, kind="stable")
-    sorted_keys = keys[order]
-    same = sorted_keys[1:] == sorted_keys[:-1]
-    new_group = np.empty(keys.size, dtype=bool)
-    if keys.size:
-        new_group[0] = True
-        new_group[1:] = ~same
-    return order, same, new_group
-
-
 def compile_schedule(
     network: POPSNetwork,
     schedule: RoutingSchedule,
@@ -352,6 +245,12 @@ def compile_schedule(
     initial_buffers: dict[int, list[Packet]] | None = None,
 ) -> CompiledSchedule:
     """Lower ``schedule`` to integer arrays, raising any static violation.
+
+    The shared front end (:func:`repro.pops.lowering.lower_schedule`) performs
+    the flattening, the vectorized static validation and the
+    reception/payload join; this function adds the consuming-model specifics —
+    the flat location array, the per-slot consumed-packet groups, and the
+    rejection of packet-duplicating shapes.
 
     Raises
     ------
@@ -362,156 +261,61 @@ def compile_schedule(
         If the schedule duplicates packets (non-consuming sends, multi-reader
         couplers) and therefore cannot run on a flat location array.
     """
-    if schedule.network != network:
-        raise SimulationError(
-            f"schedule targets {schedule.network!r}, simulator holds {network!r}"
-        )
-    g = network.g
-    g2 = g * g
-    universe, initial_loc = _packet_universe(network, packets, initial_buffers)
-    pk_destination = np.array([p.destination for p in universe], dtype=np.int64)
-
-    # -- flatten to integer arrays (the only per-object Python loops) ----------
-    all_tx = [t for slot in schedule.slots for t in slot.transmissions]
-    all_rx = [r for slot in schedule.slots for r in slot.receptions]
-    tx_counts = [len(slot.transmissions) for slot in schedule.slots]
-    rx_counts = [len(slot.receptions) for slot in schedule.slots]
-    if not all([t.consume for t in all_tx]):
+    lowered = lower_schedule(
+        network, schedule, packets, initial_buffers, single_location=True
+    )
+    if not lowered.tx_consume.all():
         raise UnsupportedScheduleError(
             "non-consuming (broadcast-style) transmissions duplicate packets; "
-            "use the reference simulator"
+            "use the batched-collective engine"
         )
-    tx_packet, universe, initial_loc, pk_destination = _resolve_packet_indices(
-        network, universe, initial_loc, pk_destination,
-        [t.packet for t in all_tx],
-    )
-
-    n_tx, n_rx = len(all_tx), len(all_rx)
-    n_slots = len(schedule.slots)
-    tx_sender = np.array([t.sender for t in all_tx], dtype=np.int64)
-    tx_couplers = [t.coupler for t in all_tx]
-    tx_dest = np.array([c.dest_group for c in tx_couplers], dtype=np.int64)
-    tx_src = np.array([c.source_group for c in tx_couplers], dtype=np.int64)
-    tx_ptr = np.concatenate(([0], np.cumsum(tx_counts, dtype=np.int64)))
-    rx_receiver = np.array([r.receiver for r in all_rx], dtype=np.int64)
-    rx_couplers = [r.coupler for r in all_rx]
-    rx_dest = np.array([c.dest_group for c in rx_couplers], dtype=np.int64)
-    rx_src = np.array([c.source_group for c in rx_couplers], dtype=np.int64)
-    rx_ptr = np.concatenate(([0], np.cumsum(rx_counts, dtype=np.int64)))
-    tx_slot = np.repeat(np.arange(n_slots, dtype=np.int64), tx_counts)
-    rx_slot = np.repeat(np.arange(n_slots, dtype=np.int64), rx_counts)
-
-    tx_coupler = tx_dest * g + tx_src
-    rx_coupler = rx_dest * g + rx_src
-    u_size = len(universe)
-
-    # One shared stable group-by over (slot, coupler): it powers both the
-    # coupler-conflict checks and the payload dedup below.
-    tx_key = tx_slot * g2 + tx_coupler
-    c_order, c_same, c_new = _group_firsts(tx_key)
-
-    # -- static validation (vectorized; slow path reproduces the exact error) --
-    n, d = network.n, network.d
-    static_bad = False
-    if n_tx:
-        static_bad = (
-            bool(((tx_sender < 0) | (tx_sender >= n)).any())
-            or bool(
-                ((tx_dest < 0) | (tx_dest >= g) | (tx_src < 0) | (tx_src >= g)).any()
-            )
-            or bool((tx_sender // d != tx_src).any())
-            # Same coupler driven twice in a slot: sender and packet must agree.
-            or bool((c_same & (tx_sender[c_order][1:] != tx_sender[c_order][:-1])).any())
-            or bool((c_same & (tx_packet[c_order][1:] != tx_packet[c_order][:-1])).any())
-        )
-        if not static_bad:
-            # One packet per sender per slot (broadcasting one packet through
-            # several transmitters is legal, two different packets is not).
-            s_order, s_same, _ = _group_firsts(tx_slot * n + tx_sender)
-            static_bad = bool(
-                (s_same & (tx_packet[s_order][1:] != tx_packet[s_order][:-1])).any()
-            )
-    if not static_bad and n_rx:
-        receiver_key = np.sort(rx_slot * n + rx_receiver)
-        static_bad = (
-            bool(((rx_receiver < 0) | (rx_receiver >= n)).any())
-            or bool(
-                ((rx_dest < 0) | (rx_dest >= g) | (rx_src < 0) | (rx_src >= g)).any()
-            )
-            or bool((rx_receiver // d != rx_dest).any())
-            or bool((receiver_key[1:] == receiver_key[:-1]).any())
-        )
-    if static_bad:
-        schedule.validate()  # raises the same exception the reference would
-        raise SimulationError(
-            "batched engine rejected the schedule but schedule.validate() "
-            "accepted it; please report this divergence"
-        )
-
-    # -- static dataflow, fully vectorized across slots ------------------------
-    # Payloads: first transmission per (slot, coupler), in schedule order.
-    first_by_key = c_order[c_new]
-    uniq_key = tx_key[c_order][c_new]
-    first = np.sort(first_by_key)
-    pay_coupler = tx_coupler[first]
-    pay_packet = tx_packet[first]
-    pay_counts = np.bincount(tx_slot[first], minlength=n_slots)
+    universe = lowered.packets
+    u_size = lowered.u_size
+    n_slots = lowered.n_slots
 
     # Consumed: each packet sent in a slot leaves its sender once.
-    p_order, _, p_new = _group_firsts(tx_slot * max(u_size, 1) + tx_packet)
+    p_order, _, p_new = group_firsts(
+        lowered.tx_slot * max(u_size, 1) + lowered.tx_packet
+    )
     con_first = np.sort(p_order[p_new])
-    con_packet = tx_packet[con_first]
-    con_counts = np.bincount(tx_slot[con_first], minlength=n_slots)
-
-    # Deliveries: join receptions against payloads on the (slot, coupler) key.
-    rx_key = rx_slot * g2 + rx_coupler
-    pos = np.searchsorted(uniq_key, rx_key)
-    live = np.zeros(n_rx, dtype=bool)
-    in_bounds = pos < uniq_key.size
-    live[in_bounds] = uniq_key[pos[in_bounds]] == rx_key[in_bounds]
-    live_idx = np.flatnonzero(live)
-    del_receiver = rx_receiver[live_idx]
-    del_packet = tx_packet[first_by_key][pos[live_idx]]
-    del_counts = np.bincount(rx_slot[live_idx], minlength=n_slots)
-
-    # Idle reads: first reception of an undriven coupler per slot.
-    idle_receiver = np.full(n_slots, -1, dtype=np.int64)
-    idle_coupler = np.full(n_slots, -1, dtype=np.int64)
-    idle_idx = np.flatnonzero(~live)
-    if idle_idx.size:
-        idle_slots, idle_first = np.unique(rx_slot[idle_idx], return_index=True)
-        idle_receiver[idle_slots] = rx_receiver[idle_idx[idle_first]]
-        idle_coupler[idle_slots] = rx_coupler[idle_idx[idle_first]]
+    con_packet = lowered.tx_packet[con_first]
+    con_counts = np.bincount(lowered.tx_slot[con_first], minlength=n_slots)
 
     # A packet read by several receivers in one slot would be duplicated.
-    del_key = np.sort(rx_slot[live_idx] * max(u_size, 1) + del_packet)
+    del_key = np.sort(lowered.del_slot * max(u_size, 1) + lowered.del_packet)
     dup = np.flatnonzero(del_key[1:] == del_key[:-1])
     if dup.size:
         raise UnsupportedScheduleError(
             f"slot {int(del_key[dup[0]] // max(u_size, 1))}: a packet is read "
-            "by several receivers, which duplicates it; use the reference "
-            "simulator"
+            "by several receivers, which duplicates it; use the "
+            "batched-collective engine"
         )
+
+    # Fold the (packet, processor) holder pairs into the flat location array.
+    # The single-location front end guarantees at most one pair per packet;
+    # transmitted packets unknown to the universe stay at -1 (held nowhere).
+    initial_loc = np.full(u_size, -1, dtype=np.int64)
+    initial_loc[lowered.initial_hold_packet] = lowered.initial_hold_proc
 
     return CompiledSchedule(
         network=network,
         packets=universe,
         n_slots=n_slots,
-        tx_sender=tx_sender,
-        tx_packet=tx_packet,
-        tx_ptr=tx_ptr,
-        pay_coupler=pay_coupler,
-        pay_packet=pay_packet,
-        pay_ptr=np.concatenate(([0], np.cumsum(pay_counts, dtype=np.int64))),
-        del_receiver=del_receiver,
-        del_packet=del_packet,
-        del_ptr=np.concatenate(([0], np.cumsum(del_counts, dtype=np.int64))),
+        tx_sender=lowered.tx_sender,
+        tx_packet=lowered.tx_packet,
+        tx_ptr=lowered.tx_ptr,
+        pay_coupler=lowered.pay_coupler,
+        pay_packet=lowered.pay_packet,
+        pay_ptr=lowered.pay_ptr,
+        del_receiver=lowered.del_receiver,
+        del_packet=lowered.del_packet,
+        del_ptr=lowered.del_ptr,
         con_packet=con_packet,
         con_ptr=np.concatenate(([0], np.cumsum(con_counts, dtype=np.int64))),
-        idle_receiver=idle_receiver,
-        idle_coupler=idle_coupler,
+        idle_receiver=lowered.idle_receiver,
+        idle_coupler=lowered.idle_coupler,
         initial_loc=initial_loc,
-        pk_destination=pk_destination,
+        pk_destination=lowered.pk_destination,
     )
 
 

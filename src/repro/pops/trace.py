@@ -13,10 +13,15 @@ Two representations coexist:
   explicit :meth:`CompiledTrace.materialize` escape hatch that produces the
   dict representation on demand.
 
-Both expose ``n_slots``, ``total_packets_moved``, ``coupler_usage()``,
-``max_coupler_usage()``, ``mean_coupler_utilisation()`` and
-``packets_moved_per_slot()`` with identical values, so the analysis layer is
-representation-agnostic.
+Both expose ``n_slots``, ``total_packets_moved``, ``total_packets_received``,
+``coupler_usage()``, ``max_coupler_usage()``, ``mean_coupler_utilisation()``,
+``packets_moved_per_slot()``, ``packets_received_per_slot()``,
+``receiver_usage()`` and ``mean_delivery_fanout()`` with identical values, so
+the analysis layer is representation-agnostic.  The reception-side statistics
+matter for multi-holder (collective) schedules, where one coupler payload
+fans out to many receivers: the fanout is the ratio of deliveries to coupler
+usages, exactly 1.0 for consuming permutation routing and up to ``d`` for
+broadcasts.
 """
 
 from __future__ import annotations
@@ -65,6 +70,31 @@ class SimulationTrace:
     def total_packets_moved(self) -> int:
         """Total coupler-slot usages across the run."""
         return sum(slot.packets_moved for slot in self.slots)
+
+    @property
+    def total_packets_received(self) -> int:
+        """Total (processor, packet) receptions across the run."""
+        return sum(slot.packets_received for slot in self.slots)
+
+    def packets_received_per_slot(self) -> list[int]:
+        """Packets received in each slot, in execution order."""
+        return [slot.packets_received for slot in self.slots]
+
+    def receiver_usage(self) -> dict[int, int]:
+        """How many deliveries each processor received across the run."""
+        usage: dict[int, int] = {}
+        for slot in self.slots:
+            for receiver, _ in slot.deliveries:
+                usage[receiver] = usage.get(receiver, 0) + 1
+        return usage
+
+    def mean_delivery_fanout(self) -> float:
+        """Deliveries per coupler usage (1.0 for consuming schedules, up to
+        ``d`` when multi-reader couplers fan copies out)."""
+        moved = self.total_packets_moved
+        if moved == 0:
+            return 0.0
+        return self.total_packets_received / moved
 
     def coupler_usage(self) -> dict[Coupler, int]:
         """How many slots each coupler carried a packet for."""
@@ -179,6 +209,22 @@ class CompiledTrace:
     def packets_received_per_slot(self) -> list[int]:
         """Packets received in each slot, in execution order."""
         return np.diff(self.del_ptr).tolist()
+
+    def receiver_usage(self) -> dict[int, int]:
+        """How many deliveries each processor received across the run."""
+        counts = np.bincount(self.del_receiver) if self.del_receiver.size else np.empty(0)
+        return {
+            int(receiver): int(counts[receiver])
+            for receiver in np.flatnonzero(counts)
+        }
+
+    def mean_delivery_fanout(self) -> float:
+        """Deliveries per coupler usage (1.0 for consuming schedules, up to
+        ``d`` when multi-reader couplers fan copies out)."""
+        moved = self.total_packets_moved
+        if moved == 0:
+            return 0.0
+        return self.total_packets_received / moved
 
     def coupler_usage_counts(self) -> np.ndarray:
         """Per-coupler busy-slot counts as a dense ``g * g`` array.

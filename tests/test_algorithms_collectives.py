@@ -141,3 +141,51 @@ class TestPrefixSum:
     def test_requires_matching_length(self):
         with pytest.raises(ValidationError):
             hypercube_prefix_sum(POPSNetwork(4, 4), [1] * 3)
+
+
+class TestSessionInjection:
+    """Collectives accept an explicit Session (engine, cache, backend)."""
+
+    def test_broadcast_runs_on_the_collective_engine_by_default(self, monkeypatch):
+        from repro.pops.simulator import POPSSimulator
+
+        monkeypatch.setattr(
+            POPSSimulator, "run_reference",
+            lambda *a, **k: pytest.fail("broadcast fell back to the reference"),
+        )
+        network = POPSNetwork(4, 4)
+        values, slots = execute_broadcast(network, speaker=2, payload="p")
+        assert slots == 1 and values == ["p"] * network.n
+
+    def test_broadcast_with_explicit_session_and_cache(self):
+        from repro.api import RunConfig, Session
+
+        network = POPSNetwork(3, 3)
+        session = Session(RunConfig(sim_backend="batched-collective"))
+        key = ("bcast", 3, 3, 0, "v")
+        first, _ = execute_broadcast(network, 0, "v", session=session, cache_key=key)
+        second, _ = execute_broadcast(network, 0, "v", session=session, cache_key=key)
+        assert first == second == ["v"] * network.n
+        assert session.cache.stats()["hits"] == 1
+
+    def test_permutation_engine_honours_session_router_backend(self, rng):
+        from repro.api import RunConfig, Session
+
+        network = POPSNetwork(2, 4)
+        session = Session(RunConfig(router_backend="euler", sim_backend="auto"))
+        engine = PermutationEngine(network, session=session)
+        values = list(range(network.n))
+        pi = random_permutation(network.n, rng)
+        moved = engine.permute(values, pi)
+        for i in range(network.n):
+            assert moved[pi[i]] == values[i]
+
+    def test_allreduce_with_session_matches_default(self, rng):
+        from repro.api import RunConfig, Session
+
+        network = POPSNetwork(4, 4)
+        data = [rng.randint(0, 50) for _ in range(network.n)]
+        session = Session(RunConfig(sim_backend="auto"))
+        with_session = hypercube_allreduce(network, data, operator.add, session=session)
+        default = hypercube_allreduce(network, data, operator.add)
+        assert with_session == default

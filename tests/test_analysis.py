@@ -4,34 +4,28 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.experiments import (
-    ALL_EXPERIMENTS,
-    run_direct_comparison,
-    run_figure3_example,
-    run_lower_bound_experiment,
-    run_one_slot_fraction,
-    run_scaling_experiment,
-    run_parallel_sweep,
-    run_theorem2_sweep,
-    run_unification_experiment,
-)
 from repro.analysis.metrics import (
     RoutingMetrics,
     coupler_utilisation,
-    measure_routing,
     slots_vs_bound,
 )
 from repro.analysis.reporting import format_experiment_report, format_table
+from repro.api import RunConfig, Session
 from repro.patterns.families import vector_reversal
 from repro.pops.topology import POPSNetwork
 from repro.utils.permutations import random_permutation
 
 
+def route(network: POPSNetwork, pi, **config_fields) -> RoutingMetrics:
+    """One verified routing through a fresh session."""
+    return Session(RunConfig(**config_fields)).route(pi, network=network)
+
+
 class TestMetrics:
-    def test_measure_routing_fields(self, rng):
+    def test_route_metrics_fields(self, rng):
         network = POPSNetwork(4, 4)
         pi = random_permutation(16, rng)
-        metrics = measure_routing(network, pi)
+        metrics = route(network, pi)
         assert isinstance(metrics, RoutingMetrics)
         assert (metrics.d, metrics.g, metrics.n) == (4, 4, 16)
         assert metrics.slots == 2
@@ -41,13 +35,13 @@ class TestMetrics:
 
     def test_optimality_ratio(self):
         network = POPSNetwork(8, 4)
-        metrics = measure_routing(network, vector_reversal(32))
+        metrics = route(network, vector_reversal(32))
         assert metrics.lower_bound == 4
         assert metrics.optimality_ratio == 1.0
 
     def test_optimality_ratio_infinite_for_identity(self):
         network = POPSNetwork(2, 2)
-        metrics = measure_routing(network, list(range(4)))
+        metrics = route(network, list(range(4)))
         assert metrics.lower_bound == 0
         assert metrics.optimality_ratio == float("inf")
 
@@ -86,20 +80,22 @@ class TestExperimentRunners:
     """Each runner doubles as an integration test over the full stack."""
 
     def test_e1_small_sweep(self):
-        result = run_theorem2_sweep(configs=((2, 2), (3, 2), (2, 3)), trials=2, seed=1)
+        result = Session(RunConfig(trials=2, seed=1)).experiment(
+            "E1", configs=((2, 2), (3, 2), (2, 3))
+        )
         assert result.all_pass
         assert result.experiment_id == "E1"
         assert len(result.rows) == 3
 
     def test_e2_figure3(self):
-        result = run_figure3_example()
+        result = Session().experiment("E2")
         assert result.all_pass
         assert result.notes["slots used"] == 2
         assert result.notes["list system proper"] is True
         assert len(result.rows) == 9
 
     def test_e3_scaling_small(self):
-        result = run_scaling_experiment(g_values=(2, 4), trials=1)
+        result = Session(RunConfig(trials=1)).experiment("E3", g_values=(2, 4))
         assert result.all_pass
         assert len(result.rows) == 2
         # Timing columns must be positive.
@@ -107,12 +103,16 @@ class TestExperimentRunners:
             assert row[2] > 0 and row[3] > 0
 
     def test_e4_lower_bounds_small(self):
-        result = run_lower_bound_experiment(configs=((2, 2), (4, 2)), trials=1, seed=3)
+        result = Session(RunConfig(trials=1)).experiment(
+            "E4", configs=((2, 2), (4, 2)), seed=3
+        )
         assert result.all_pass
         assert result.rows
 
     def test_e6_direct_comparison_small(self):
-        result = run_direct_comparison(configs=((4, 2), (2, 4)), trials=1, seed=5)
+        result = Session(RunConfig(trials=1)).experiment(
+            "E6", configs=((4, 2), (2, 4)), seed=5
+        )
         assert result.all_pass
         blocked_rows = [row for row in result.rows if row[2] == "group_blocked"]
         # On blocked traffic with d > g the direct baseline is strictly worse.
@@ -120,41 +120,54 @@ class TestExperimentRunners:
         assert row_d4[4] >= row_d4[3]
 
     def test_e7_one_slot_fraction_small(self):
-        result = run_one_slot_fraction(configs=((1, 4), (2, 2)), trials=30, seed=7)
+        result = Session().experiment(
+            "E7", configs=((1, 4), (2, 2)), trials=30, seed=7
+        )
         assert result.all_pass
         d1_row = next(row for row in result.rows if row[0] == 1)
         assert d1_row[5] == 1.0  # every permutation is one-slot routable when d = 1
 
+    def test_e9_collective_scale_small(self):
+        result = Session().experiment("E9", broadcast_configs=((2, 2), (4, 4)))
+        assert result.all_pass
+        collectives = [row[0] for row in result.rows]
+        assert collectives.count("one-to-all broadcast") == 2
+        assert "hypercube all-reduce" in collectives
+        assert "all-to-all personalised" in collectives
+        assert result.notes["largest broadcast n"] == 16
+
     def test_registry_contains_all_experiments(self):
-        assert sorted(ALL_EXPERIMENTS) == sorted(
-            [f"E{i}" for i in range(1, 9)] + ["E1p"]
+        from repro.api.registry import EXPERIMENTS, ensure_experiments
+
+        ensure_experiments()
+        assert sorted(EXPERIMENTS.names()) == sorted(
+            [f"E{i}" for i in range(1, 10)] + ["E1p"]
         )
 
     def test_e1_batched_backend_matches(self):
         configs = ((2, 2), (3, 2), (2, 3))
-        reference = run_theorem2_sweep(configs=configs, trials=2, seed=1)
-        batched = run_theorem2_sweep(
-            configs=configs, trials=2, seed=1, sim_backend="batched"
+        reference = Session(RunConfig(trials=2, seed=1)).experiment(
+            "E1", configs=configs
         )
+        batched = Session(
+            RunConfig(trials=2, seed=1, sim_backend="batched")
+        ).experiment("E1", configs=configs)
         assert batched.all_pass
         assert batched.rows == reference.rows
 
     def test_parallel_sweep_serial_fallback(self):
-        result = run_parallel_sweep(
-            configs=((2, 2), (3, 2)), trials=1, seed=1, max_workers=0
-        )
+        configs = ((2, 2), (3, 2))
+        result = Session(RunConfig(trials=1, seed=1, workers=0)).sweep(configs)
         assert result.all_pass
         assert len(result.rows) == 2
         # Serial execution is row-for-row identical to the fanned-out sweep.
-        assert (
-            result.rows
-            == run_parallel_sweep(
-                configs=((2, 2), (3, 2)), trials=1, seed=1, max_workers=None
-            ).rows
-        )
+        fanned = Session(RunConfig(trials=1, seed=1, workers=None)).sweep(configs)
+        assert result.rows == fanned.rows
 
     def test_report_rendering(self):
-        result = run_theorem2_sweep(configs=((2, 2),), trials=1, seed=0)
+        result = Session(RunConfig(trials=1, seed=0)).experiment(
+            "E1", configs=((2, 2),)
+        )
         report = result.to_report()
         assert "E1" in report and "Paper claim" in report
 
@@ -162,4 +175,4 @@ class TestExperimentRunners:
 @pytest.mark.slow
 class TestHeavyExperiments:
     def test_e5_unification(self):
-        assert run_unification_experiment().all_pass
+        assert Session().experiment("E5").all_pass

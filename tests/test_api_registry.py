@@ -87,7 +87,7 @@ class TestBuiltinRegistrations:
 
     def test_experiments(self):
         ensure_experiments()
-        assert {"E1", "E1p", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} == set(
+        assert {"E1", "E1p", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} == set(
             EXPERIMENTS.names()
         )
 

@@ -1,10 +1,9 @@
-"""Tests for the Session facade: caching, seed lineage, and shim parity.
+"""Tests for the Session facade: caching, seed lineage, and engine dispatch.
 
-The parity tests are the acceptance criteria of the API redesign: every
-experiment must produce byte-identical output through
-``Session.experiment(...)`` and through the deprecated free function (whose
-``DeprecationWarning`` is captured), because the shims delegate to the same
-registered runner.
+The deprecated free functions (``measure_routing``, ``run_*``,
+``ALL_EXPERIMENTS``) were removed in 1.2 after their one-release window; the
+tests here pin the Session layer as the sole entry point — including that the
+removal actually happened.
 """
 
 from __future__ import annotations
@@ -13,18 +12,7 @@ import warnings
 
 import pytest
 
-from repro.analysis.experiments import (
-    run_collectives_experiment,
-    run_direct_comparison,
-    run_figure3_example,
-    run_lower_bound_experiment,
-    run_one_slot_fraction,
-    run_parallel_sweep,
-    run_scaling_experiment,
-    run_theorem2_sweep,
-    run_unification_experiment,
-)
-from repro.analysis.metrics import RoutingMetrics, measure_routing
+from repro.analysis.metrics import RoutingMetrics
 from repro.api import RunConfig, Session, derive_trial_seeds
 from repro.exceptions import ConfigurationError
 from repro.patterns.families import vector_reversal
@@ -168,146 +156,45 @@ class TestSweepAndRunAll:
 
         ensure_experiments()
         assert sorted(EXPERIMENTS.names()) == [
-            "E1", "E1p", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+            "E1", "E1p", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
         ]
 
 
-def _mask_floats(rows):
-    """Replace float cells (wall-clock timings, E3) with a placeholder."""
-    return [
-        ["<float>" if isinstance(cell, float) else cell for cell in row]
-        for row in rows
-    ]
+class TestShimRemoval:
+    """The 1.1 deprecation shims are gone, per the one-release timeline."""
 
+    def test_free_functions_removed(self):
+        import repro.analysis.experiments as experiments
+        import repro.analysis.metrics as metrics
 
-class TestShimParity:
-    """Session output == deprecated free-function output, warning captured."""
+        for name in (
+            "run_theorem2_sweep", "run_parallel_sweep", "run_figure3_example",
+            "run_scaling_experiment", "run_lower_bound_experiment",
+            "run_unification_experiment", "run_direct_comparison",
+            "run_one_slot_fraction", "run_collectives_experiment",
+            "ALL_EXPERIMENTS",
+        ):
+            assert not hasattr(experiments, name), name
+        assert not hasattr(metrics, "measure_routing")
 
-    def _assert_parity(self, session_result, shim_result, mask_floats=False):
-        if mask_floats:
-            assert _mask_floats(session_result.rows) == _mask_floats(shim_result.rows)
-            session_result = session_result.__class__(
-                **{**session_result.__dict__, "rows": []}
-            )
-            shim_result = shim_result.__class__(**{**shim_result.__dict__, "rows": []})
-        assert session_result.to_report() == shim_result.to_report()
-        assert session_result.to_dict() == shim_result.to_dict()
+    def test_shim_plumbing_removed(self):
+        import repro.api as api
+        import repro.api.session as session_module
 
-    def test_measure_routing_parity(self):
-        network = POPSNetwork(4, 4)
-        pi = vector_reversal(16)
-        via_session = Session(RunConfig(sim_backend="batched")).route(pi, network=network)
-        with pytest.deprecated_call():
-            via_shim = measure_routing(network, pi, sim_backend="batched")
-        assert via_session == via_shim
+        assert not hasattr(api, "warn_deprecated")
+        assert not hasattr(session_module, "legacy_shim_session")
 
-    def test_e1_parity(self):
-        configs = [(2, 2), (4, 4)]
-        via_session = Session(RunConfig(trials=2, seed=123)).experiment(
-            "E1", configs=configs
-        )
-        with pytest.deprecated_call():
-            via_shim = run_theorem2_sweep(configs=configs, trials=2, seed=123)
-        self._assert_parity(via_session, via_shim)
+    def test_version_is_past_the_removal_release(self):
+        import repro
 
-    def test_e1p_parity_with_sharding_and_cache_stats(self):
-        configs = [(2, 2), (4, 4)]
-        config = RunConfig(
-            trials=3, seed=9, workers=0, shard_trials=1,
-            cache_stats=True, sim_backend="batched",
-        )
-        schedule_cache().clear()
-        via_session = Session(config).sweep(configs)
-        schedule_cache().clear()
-        with pytest.deprecated_call():
-            via_shim = run_parallel_sweep(
-                configs=configs, trials=3, seed=9, max_workers=0,
-                shard_trials=1, cache_stats=True,
-            )
-        self._assert_parity(via_session, via_shim)
-        assert "schedule cache" in via_session.notes
-
-    def test_e2_parity(self):
-        via_session = Session().experiment("E2")
-        with pytest.deprecated_call():
-            via_shim = run_figure3_example()
-        self._assert_parity(via_session, via_shim)
-
-    def test_e3_parity_modulo_wall_clock(self):
-        via_session = Session(RunConfig(trials=1)).experiment("E3", g_values=(4,))
-        with pytest.deprecated_call():
-            via_shim = run_scaling_experiment(g_values=(4,), trials=1)
-        self._assert_parity(via_session, via_shim, mask_floats=True)
-
-    def test_e4_parity(self):
-        configs = ((4, 4), (6, 3))
-        via_session = Session(RunConfig(trials=1)).experiment("E4", configs=configs)
-        with pytest.deprecated_call():
-            via_shim = run_lower_bound_experiment(configs=configs, trials=1)
-        self._assert_parity(via_session, via_shim)
-
-    def test_e5_parity(self):
-        via_session = Session().experiment("E5")
-        with pytest.deprecated_call():
-            via_shim = run_unification_experiment()
-        self._assert_parity(via_session, via_shim)
-
-    def test_e6_parity(self):
-        configs = ((4, 4), (8, 4))
-        via_session = Session(RunConfig(trials=1)).experiment("E6", configs=configs)
-        with pytest.deprecated_call():
-            via_shim = run_direct_comparison(configs=configs, trials=1)
-        self._assert_parity(via_session, via_shim)
-
-    def test_e7_parity(self):
-        configs = ((1, 4), (2, 4))
-        via_session = Session().experiment("E7", configs=configs, trials=25)
-        with pytest.deprecated_call():
-            via_shim = run_one_slot_fraction(configs=configs, trials=25)
-        self._assert_parity(via_session, via_shim)
-
-    def test_e8_parity(self):
-        via_session = Session().experiment("E8", seed=41)
-        with pytest.deprecated_call():
-            via_shim = run_collectives_experiment(seed=41)
-        self._assert_parity(via_session, via_shim)
+        assert tuple(int(x) for x in repro.__version__.split(".")[:2]) >= (1, 2)
 
     def test_e8_derives_from_the_config_seed_lineage(self):
-        # The satellite fix: E8's random sections derive from RunConfig.seed
-        # exactly as sharded sweeps derive trial seeds.
+        # E8's random sections derive from RunConfig.seed exactly as sharded
+        # sweeps derive trial seeds.
         from_config = Session(RunConfig(seed=5)).experiment("E8")
         from_override = Session().experiment("E8", seed=5)
         assert from_config.to_report() == from_override.to_report()
-
-    def test_euler_backend_parity(self):
-        via_session = Session(RunConfig(router_backend="euler")).experiment("E2")
-        with pytest.deprecated_call():
-            via_shim = run_figure3_example(backend="euler")
-        self._assert_parity(via_session, via_shim)
-
-
-class TestDeprecationBehaviour:
-    def test_shims_warn_exactly_once_under_default_filters(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("default")
-            for _ in range(2):  # same call site: the registry dedups to one
-                run_figure3_example()
-        messages = [
-            str(w.message)
-            for w in caught
-            if issubclass(w.category, DeprecationWarning)
-            and "run_figure3_example" in str(w.message)
-        ]
-        assert len(messages) == 1
-        assert "Session.experiment('E2')" in messages[0]
-
-    def test_all_experiments_mapping_is_the_shims(self):
-        from repro.analysis.experiments import ALL_EXPERIMENTS
-
-        assert ALL_EXPERIMENTS["E2"] is run_figure3_example
-        with pytest.deprecated_call():
-            result = ALL_EXPERIMENTS["E2"]()
-        assert result.experiment_id == "E2"
 
     def test_session_paths_do_not_warn(self):
         with warnings.catch_warnings():

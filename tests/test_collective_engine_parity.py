@@ -1,0 +1,497 @@
+"""Property tests: the collective engine is observationally equal to the reference.
+
+The collective engine (:mod:`repro.pops.collective_engine`) re-implements the
+POPS slot model for *packet-duplicating* schedules — non-consuming
+(broadcast-style) sends and multi-reader couplers — as vectorized operations
+on a per-packet/per-processor copy-count matrix.  These tests pin it to the
+reference simulator over generated broadcast/multi-reader schedules: final
+buffers (as per-processor multisets, copy multiplicity included), slot-by-slot
+traces, delivery verdicts, and dynamic-error slot/offender/message must all
+agree.  They also pin the ``auto`` dispatch mode (batched →
+batched-collective → reference by schedule shape) and the acceptance
+criterion that pure broadcast/collective schedules never fall back to the
+reference simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.broadcast import one_to_all_broadcast
+from repro.exceptions import (
+    DeliveryError,
+    SimulationError,
+    UnsupportedScheduleError,
+)
+from repro.pops.collective_engine import (
+    CollectiveSimulator,
+    compile_collective_schedule,
+)
+from repro.pops.engine import BatchedSimulator, ScheduleCache
+from repro.pops.lowering import classify_schedule
+from repro.pops.packet import Packet
+from repro.pops.schedule import RoutingSchedule
+from repro.pops.simulator import POPSSimulator
+from repro.pops.topology import POPSNetwork
+from repro.pops.trace import CompiledTrace
+from repro.routing.permutation_router import PermutationRouter
+from repro.utils.permutations import random_permutation
+
+network_shapes = st.tuples(
+    st.integers(min_value=1, max_value=4), st.integers(min_value=2, max_value=4)
+)
+
+
+def buffers_as_multisets(result) -> dict[int, list[tuple[int, int]]]:
+    """Final buffers with per-processor contents order-normalised.
+
+    Copy multiplicity is preserved: a processor holding two copies of a packet
+    contributes the (source, destination) pair twice.
+    """
+    return {
+        processor: sorted((p.source, p.destination) for p in held)
+        for processor, held in result.buffers.items()
+    }
+
+
+def assert_same_traces(reference, other) -> None:
+    assert reference.n_slots == other.n_slots
+    for ref_slot, other_slot in zip(reference.trace.slots, other.trace.slots):
+        assert ref_slot.slot_index == other_slot.slot_index
+        assert ref_slot.coupler_payloads == other_slot.coupler_payloads
+        assert sorted(ref_slot.deliveries) == sorted(other_slot.deliveries)
+
+
+def delivery_verdict(result, packets) -> tuple[bool, str]:
+    """(delivered, message) outcome of the permutation-delivery check."""
+    try:
+        result.verify_permutation_delivery(packets)
+        return True, ""
+    except DeliveryError as error:
+        return False, str(error)
+
+
+def build_collective_workload(
+    network: POPSNetwork, rng: random.Random, rounds: int
+) -> tuple[RoutingSchedule, list[Packet], dict[int, Counter]]:
+    """A random valid duplicating schedule plus its expected holder counts.
+
+    Each round one current holder of some packet broadcasts it through a
+    random subset of its transmitters (sometimes consuming its copy, the
+    broadcast-relay pattern); every chosen destination group contributes a
+    random non-empty subset of readers, so couplers regularly fan one payload
+    out to several receivers.  Holder counts are tracked alongside so rounds
+    can legally relay copies created by earlier rounds.
+    """
+    n = network.n
+    packets = [Packet(source=i, destination=i) for i in range(n)]
+    holders: dict[int, Counter] = {i: Counter({i: 1}) for i in range(n)}
+    schedule = RoutingSchedule(
+        network=network, description="generated collective workload"
+    )
+    for _ in range(rounds):
+        candidates = [
+            (k, proc)
+            for k, counts in holders.items()
+            for proc, copies in counts.items()
+            if copies > 0
+        ]
+        if not candidates:
+            break
+        k, speaker = rng.choice(sorted(candidates))
+        packet = packets[k]
+        speaker_group = network.group_of(speaker)
+        dest_groups = rng.sample(
+            list(network.groups()), rng.randint(1, network.g)
+        )
+        consume = rng.random() < 0.3
+        slot = schedule.new_slot()
+        receivers: list[int] = []
+        for dest_group in dest_groups:
+            coupler = network.coupler(dest_group, speaker_group)
+            slot.add_transmission(speaker, coupler, packet, consume=consume)
+            group_procs = list(network.processors_in_group(dest_group))
+            for receiver in rng.sample(
+                group_procs, rng.randint(1, len(group_procs))
+            ):
+                slot.add_reception(receiver, coupler)
+                receivers.append(receiver)
+        if consume:
+            holders[k][speaker] -= 1
+        for receiver in receivers:
+            holders[k][receiver] += 1
+    return schedule, packets, holders
+
+
+class TestGeneratedCollectiveParity:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        shape=network_shapes,
+        seed=st.integers(0, 2**32 - 1),
+        rounds=st.integers(1, 6),
+    )
+    def test_engines_agree_on_duplicating_schedules(self, shape, seed, rounds):
+        d, g = shape
+        network = POPSNetwork(d, g)
+        rng = random.Random(seed)
+        schedule, packets, holders = build_collective_workload(network, rng, rounds)
+
+        reference = POPSSimulator(network).run(schedule, packets)
+        collective = CollectiveSimulator(network).run(schedule, packets)
+        auto = POPSSimulator(network, backend="auto").run(schedule, packets)
+
+        expected = buffers_as_multisets(reference)
+        assert expected == buffers_as_multisets(collective)
+        assert expected == buffers_as_multisets(auto)
+        assert_same_traces(reference, collective)
+        assert delivery_verdict(reference, packets) == delivery_verdict(
+            collective, packets
+        )
+        # The tracked holder counts double-check the generator itself.
+        for k, counts in holders.items():
+            for proc, copies in counts.items():
+                held = [p for p in reference.buffers[proc] if p == packets[k]]
+                assert len(held) == copies
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        shape=network_shapes,
+        seed=st.integers(0, 2**32 - 1),
+        rounds=st.integers(1, 5),
+    )
+    def test_trace_statistics_match_materialized(self, shape, seed, rounds):
+        """Numpy-reduction statistics (fan-out included) equal the dict trace's."""
+        d, g = shape
+        network = POPSNetwork(d, g)
+        rng = random.Random(seed)
+        schedule, packets, _ = build_collective_workload(network, rng, rounds)
+        compiled = CollectiveSimulator(network).run(schedule, packets).trace
+        assert isinstance(compiled, CompiledTrace)
+        materialized = compiled.materialize()
+        assert compiled.n_slots == materialized.n_slots
+        assert compiled.total_packets_moved == materialized.total_packets_moved
+        assert compiled.total_packets_received == materialized.total_packets_received
+        assert (
+            compiled.packets_received_per_slot()
+            == materialized.packets_received_per_slot()
+        )
+        assert compiled.receiver_usage() == materialized.receiver_usage()
+        assert compiled.mean_delivery_fanout() == materialized.mean_delivery_fanout()
+        assert compiled.coupler_usage() == materialized.coupler_usage()
+
+    @settings(max_examples=30, deadline=None)
+    @given(shape=network_shapes, seed=st.integers(0, 2**32 - 1))
+    def test_unheld_error_slot_offender_and_message_agree(self, shape, seed):
+        """Sending a packet nobody holds fails identically on both engines."""
+        d, g = shape
+        network = POPSNetwork(d, g)
+        rng = random.Random(seed)
+        schedule, packets, holders = build_collective_workload(network, rng, 3)
+        # Find a (packet, processor) pair with zero copies and forge a send.
+        offender = None
+        for k in range(network.n):
+            for proc in network.processors():
+                if holders[k][proc] == 0:
+                    offender = (k, proc)
+                    break
+            if offender:
+                break
+        if offender is None:
+            return  # every processor holds every packet; nothing to forge
+        k, proc = offender
+        slot = schedule.new_slot()
+        coupler = network.coupler(0, network.group_of(proc))
+        slot.add_transmission(proc, coupler, packets[k], consume=False)
+
+        outcomes = []
+        for runner in (
+            POPSSimulator(network).run,
+            CollectiveSimulator(network).run,
+            POPSSimulator(network, backend="auto").run,
+            POPSSimulator(network, backend="batched-collective").run,
+        ):
+            with pytest.raises(SimulationError) as exc_info:
+                runner(schedule, packets)
+            outcomes.append(str(exc_info.value))
+        assert len(set(outcomes)) == 1
+        assert f"slot {schedule.n_slots - 1}:" in outcomes[0]
+        assert "does not hold" in outcomes[0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(shape=network_shapes, seed=st.integers(0, 2**32 - 1))
+    def test_strict_idle_read_parity(self, shape, seed):
+        """A read of an undriven coupler: strict raises identically on both
+        engines, lenient yields nothing on both."""
+        d, g = shape
+        network = POPSNetwork(d, g)
+        rng = random.Random(seed)
+        schedule, packets, _ = build_collective_workload(network, rng, 2)
+        reader = rng.randrange(network.n)
+        slot = schedule.new_slot()
+        slot.add_reception(
+            reader, network.coupler(network.group_of(reader), rng.randrange(g))
+        )
+
+        errors = []
+        for backend in ("reference", "batched-collective"):
+            with pytest.raises(SimulationError) as exc_info:
+                POPSSimulator(network, backend=backend).run(schedule, packets)
+            errors.append(str(exc_info.value))
+        assert errors[0] == errors[1]
+        assert "reads idle" in errors[0]
+
+        lenient_ref = POPSSimulator(network, strict_receptions=False).run(
+            schedule, packets
+        )
+        lenient_col = POPSSimulator(
+            network, strict_receptions=False, backend="batched-collective"
+        ).run(schedule, packets)
+        assert buffers_as_multisets(lenient_ref) == buffers_as_multisets(lenient_col)
+
+    @settings(max_examples=20, deadline=None)
+    @given(shape=network_shapes, seed=st.integers(0, 2**32 - 1))
+    def test_consuming_permutations_also_run_on_the_collective_engine(
+        self, shape, seed
+    ):
+        """The copy-count model subsumes the consuming model: routed
+        permutations produce reference-identical results on it too."""
+        d, g = shape
+        network = POPSNetwork(d, g)
+        pi = random_permutation(network.n, random.Random(seed))
+        plan = PermutationRouter(network).route(pi)
+        reference = POPSSimulator(network).run(plan.schedule, plan.packets)
+        collective = CollectiveSimulator(network).run(plan.schedule, plan.packets)
+        assert buffers_as_multisets(reference) == buffers_as_multisets(collective)
+        assert_same_traces(reference, collective)
+        collective.verify_permutation_delivery(plan.packets)
+
+
+class TestAutoDispatch:
+    """`auto` picks batched -> batched-collective -> reference by shape."""
+
+    @pytest.fixture
+    def net(self) -> POPSNetwork:
+        return POPSNetwork(2, 3)
+
+    def test_classify_schedule_shapes(self, net):
+        pi = random_permutation(net.n, random.Random(1))
+        plan = PermutationRouter(net).route(pi)
+        assert classify_schedule(plan.schedule) == "consuming"
+        broadcast, _ = one_to_all_broadcast(net, speaker=0)
+        assert classify_schedule(broadcast) == "duplicating"
+        # Multi-reader without non-consuming sends is also duplicating.
+        packet = Packet(0, 4)
+        schedule = RoutingSchedule(network=net)
+        slot = schedule.new_slot()
+        slot.add_transmission(0, net.coupler(2, 0), packet)
+        slot.add_reception(4, net.coupler(2, 0))
+        slot.add_reception(5, net.coupler(2, 0))
+        assert classify_schedule(schedule) == "duplicating"
+
+    def test_consuming_schedule_uses_batched(self, net, monkeypatch):
+        pi = random_permutation(net.n, random.Random(3))
+        plan = PermutationRouter(net).route(pi)
+        monkeypatch.setattr(
+            CollectiveSimulator, "run",
+            lambda *a, **k: pytest.fail("collective engine used for consuming schedule"),
+        )
+        monkeypatch.setattr(
+            POPSSimulator, "run_reference",
+            lambda *a, **k: pytest.fail("reference used for consuming schedule"),
+        )
+        result = POPSSimulator(net, backend="auto").run(plan.schedule, plan.packets)
+        result.verify_permutation_delivery(plan.packets)
+
+    def test_broadcast_skips_batched_and_reference(self, net, monkeypatch):
+        schedule, packet = one_to_all_broadcast(net, speaker=1, payload="x")
+        monkeypatch.setattr(
+            BatchedSimulator, "run",
+            lambda *a, **k: pytest.fail("batched engine used for broadcast"),
+        )
+        monkeypatch.setattr(
+            POPSSimulator, "run_reference",
+            lambda *a, **k: pytest.fail("reference used for broadcast"),
+        )
+        result = POPSSimulator(net, backend="auto").run(schedule, [packet])
+        assert all(result.packets_at(p) for p in net.processors())
+
+    def test_no_reference_fallback_for_collective_schedules(self, net, monkeypatch):
+        """Acceptance criterion: pure broadcast/collective schedules never
+        reach the reference simulator on any compiled backend."""
+        monkeypatch.setattr(
+            POPSSimulator, "run_reference",
+            lambda *a, **k: pytest.fail("reference fallback still happens"),
+        )
+        schedule, packet = one_to_all_broadcast(net, speaker=2, payload="y")
+        for backend in ("batched", "batched-collective", "auto"):
+            result = POPSSimulator(net, backend=backend).run(schedule, [packet])
+            assert result.packets_at(5)[0].payload == "y"
+
+    def test_state_budget_overflow_falls_back_to_reference(self, net, monkeypatch):
+        """Past the copy-count budget the collective engine bows out and the
+        dispatcher lands on the reference path."""
+        import repro.pops.collective_engine as ce
+
+        def tiny_budget_compile(network, schedule, packets, initial_buffers=None,
+                                max_state_bytes=ce.DEFAULT_MAX_STATE_BYTES):
+            raise UnsupportedScheduleError("state too large (forced by test)")
+
+        monkeypatch.setattr(ce, "compile_collective_schedule", tiny_budget_compile)
+        schedule, packet = one_to_all_broadcast(net, speaker=0, payload="z")
+        for backend in ("batched-collective", "auto"):
+            result = POPSSimulator(net, backend=backend).run(schedule, [packet])
+            assert result.packets_at(4)[0].payload == "z"
+
+    def test_oversized_state_raises_unsupported(self, net):
+        schedule, packet = one_to_all_broadcast(net, speaker=0)
+        with pytest.raises(UnsupportedScheduleError, match="copy-count state"):
+            compile_collective_schedule(net, schedule, [packet], max_state_bytes=1)
+
+    def test_payload_divergent_copies_fall_back_to_reference(self):
+        """Value-equal packets with different payloads cannot be collapsed
+        into one universe entry: the collective compiler bows out and every
+        dispatching backend lands on the reference, which tracks each
+        buffered instance — so both payloads are delivered."""
+        net = POPSNetwork(2, 2)
+        copies = [Packet(0, 2, payload="A"), Packet(0, 2, payload="B")]
+        buffers = {p: [] for p in net.processors()}
+        buffers[0] = list(copies)
+        schedule = RoutingSchedule(network=net)
+        coupler = net.coupler(1, 0)
+        for _ in range(2):
+            slot = schedule.new_slot()
+            slot.add_transmission(0, coupler, Packet(0, 2))
+            slot.add_reception(2, coupler)
+
+        with pytest.raises(UnsupportedScheduleError, match="different\\s+payloads"):
+            compile_collective_schedule(net, schedule, [], initial_buffers=buffers)
+        expected = POPSSimulator(net).run(
+            schedule, [], initial_buffers={p: list(h) for p, h in buffers.items()}
+        )
+        assert sorted(p.payload for p in expected.packets_at(2)) == ["A", "B"]
+        for backend in ("batched", "batched-collective", "auto"):
+            result = POPSSimulator(net, backend=backend).run(
+                schedule, [], initial_buffers={p: list(h) for p, h in buffers.items()}
+            )
+            assert sorted(q.payload for q in result.packets_at(2)) == ["A", "B"]
+
+    def test_cached_entry_decides_auto_dispatch_without_probe(self, monkeypatch):
+        """On a schedule-cache hit the auto engine skips even the shape probe."""
+        import repro.pops.lowering as lowering
+        import repro.pops.simulator as simulator_module
+
+        network = POPSNetwork(3, 3)
+        schedule, packet = one_to_all_broadcast(network, speaker=1, payload="c")
+        cache = ScheduleCache()
+        first = POPSSimulator(network, backend="auto").run(
+            schedule, [packet], cache_key=("probe", 3, 3), cache=cache
+        )
+        monkeypatch.setattr(
+            simulator_module, "classify_schedule",
+            lambda *a, **k: pytest.fail("probe ran despite a cached entry"),
+            raising=False,
+        )
+        monkeypatch.setattr(
+            lowering, "classify_schedule",
+            lambda *a, **k: pytest.fail("probe ran despite a cached entry"),
+        )
+        second = POPSSimulator(network, backend="auto").run(
+            schedule, [packet], cache_key=("probe", 3, 3), cache=cache
+        )
+        assert buffers_as_multisets(first) == buffers_as_multisets(second)
+        assert cache.stats()["hits"] >= 1
+
+
+class TestCollectiveCaching:
+    def workload(self):
+        network = POPSNetwork(3, 3)
+        schedule, packet = one_to_all_broadcast(network, speaker=4)
+        return network, schedule, [packet]
+
+    def test_hit_returns_identical_compiled_schedule(self):
+        network, schedule, packets = self.workload()
+        cache = ScheduleCache()
+        engine = CollectiveSimulator(network)
+        key = ("broadcast", 3, 3, 4)
+        first = engine.compile(schedule, packets, cache_key=key, cache=cache)
+        second = engine.compile(schedule, packets, cache_key=key, cache=cache)
+        assert second is first
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_keys_are_namespaced_away_from_the_batched_engine(self):
+        """One caller key used with both engines must never cross-resolve."""
+        network = POPSNetwork(3, 3)
+        pi = random_permutation(network.n, random.Random(7))
+        plan = PermutationRouter(network).route(pi)
+        cache = ScheduleCache()
+        key = ("shared", 3, 3)
+        batched = BatchedSimulator(network).compile(
+            plan.schedule, plan.packets, cache_key=key, cache=cache
+        )
+        collective = CollectiveSimulator(network).compile(
+            plan.schedule, plan.packets, cache_key=key, cache=cache
+        )
+        assert len(cache) == 2
+        assert type(batched) is not type(collective)
+        # Each engine still hits its own entry on re-compile.
+        assert (
+            CollectiveSimulator(network).compile(
+                plan.schedule, plan.packets, cache_key=key, cache=cache
+            )
+            is collective
+        )
+
+    def test_no_key_or_initial_buffers_bypass_cache(self):
+        network, schedule, packets = self.workload()
+        cache = ScheduleCache()
+        engine = CollectiveSimulator(network)
+        a = engine.compile(schedule, packets, cache=cache)
+        b = engine.compile(schedule, packets, cache=cache)
+        assert a is not b
+        buffers = {p: [] for p in network.processors()}
+        buffers[packets[0].source] = [packets[0]]
+        engine.compile(schedule, packets, buffers, cache_key="k", cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_compiled_schedule_is_reusable(self):
+        network, schedule, packets = self.workload()
+        engine = CollectiveSimulator(network)
+        compiled = engine.compile(schedule, packets)
+        first = engine.execute(compiled)
+        second = engine.execute(compiled)
+        assert (first == second).all()
+        assert (compiled.initial_count.sum(axis=1) == 1).all()
+
+
+class TestSessionIntegration:
+    def test_session_simulate_auto_on_broadcast(self):
+        from repro.api import RunConfig, Session
+        from repro.pops.trace import SimulationTrace
+
+        network = POPSNetwork(4, 4)
+        schedule, packet = one_to_all_broadcast(network, speaker=3, payload="s")
+        session = Session(RunConfig(sim_backend="auto"))
+        result = session.simulate(schedule, [packet], cache_key=("b", 4, 4, 3))
+        assert isinstance(result.trace, CompiledTrace)
+        assert all(result.packets_at(p) for p in network.processors())
+        # The compiled broadcast is memoised in the session cache.
+        session.simulate(schedule, [packet], cache_key=("b", 4, 4, 3))
+        assert session.cache.stats()["hits"] == 1
+
+        materialized = Session(
+            RunConfig(sim_backend="auto", trace_mode="materialized")
+        ).simulate(schedule, [packet])
+        assert isinstance(materialized.trace, SimulationTrace)
+
+    def test_run_config_accepts_new_engines(self):
+        from repro.api import RunConfig
+
+        assert RunConfig(sim_backend="auto").sim_backend == "auto"
+        assert (
+            RunConfig(sim_backend="batched-collective").sim_backend
+            == "batched-collective"
+        )

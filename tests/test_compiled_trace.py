@@ -8,7 +8,7 @@ Three contracts are pinned here:
   random routed schedules — property-tested with hypothesis.
 * The compiled-schedule cache changes nothing observable: identical metrics
   with the cache on, off, hit or missed, and counters that actually count.
-* A trial-sharded ``run_parallel_sweep`` reproduces the unsharded sweep
+* A trial-sharded ``Session.sweep`` reproduces the unsharded sweep
   bit-for-bit given the same seed.
 """
 
@@ -19,14 +19,18 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.experiments import run_parallel_sweep, run_theorem2_sweep
-from repro.analysis.metrics import measure_routing
-from repro.pops.engine import BatchedSimulator, ScheduleCache, schedule_cache
+from repro.api import RunConfig, Session
+from repro.pops.engine import BatchedSimulator, ScheduleCache
 from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
 from repro.pops.trace import CompiledTrace, SimulationTrace
 from repro.routing.permutation_router import PermutationRouter
 from repro.utils.permutations import random_permutation
+
+
+def sweep(configs, **config_fields):
+    """A Theorem 2 sweep through a fresh session."""
+    return Session(RunConfig(**config_fields)).sweep(configs)
 
 network_shapes = st.tuples(
     st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5)
@@ -197,109 +201,89 @@ class TestScheduleCache:
         with pytest.raises(ValueError):
             ScheduleCache(max_bytes=0)
 
-    def test_measure_routing_same_results_cache_on_off(self):
+    def test_route_same_results_cache_on_off(self):
         network, pi, _ = self.fresh_workload(seed=23)
-        schedule_cache().clear()
-        cached_miss = measure_routing(network, pi, sim_backend="batched")
-        cached_hit = measure_routing(network, pi, sim_backend="batched")
-        uncached = measure_routing(network, pi, sim_backend="batched", use_cache=False)
-        reference = measure_routing(network, pi, sim_backend="reference")
+        caching_session = Session(RunConfig(sim_backend="batched"))
+        cached_miss = caching_session.route(pi, network=network)
+        cached_hit = caching_session.route(pi, network=network)
+        uncached = Session(
+            RunConfig(sim_backend="batched", cache_policy="off")
+        ).route(pi, network=network)
+        reference = Session().route(pi, network=network)
         assert cached_miss == cached_hit == uncached == reference
 
-    def test_measure_routing_counters_increment(self):
+    def test_route_counters_increment(self):
         network, pi, _ = self.fresh_workload(seed=29)
-        cache = schedule_cache()
-        cache.clear()
-        measure_routing(network, pi, sim_backend="batched")
+        session = Session(RunConfig(sim_backend="batched"))
+        cache = session.cache
+        session.route(pi, network=network)
         assert cache.stats()["misses"] == 1 and cache.stats()["hits"] == 0
-        measure_routing(network, pi, sim_backend="batched")
+        session.route(pi, network=network)
         assert cache.stats()["misses"] == 1 and cache.stats()["hits"] == 1
-        measure_routing(network, pi, sim_backend="batched", use_cache=False)
+        Session(
+            RunConfig(sim_backend="batched", cache_policy="off"), cache=cache
+        ).route(pi, network=network)
         assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
 
     def test_reference_backend_never_touches_cache(self):
         network, pi, _ = self.fresh_workload(seed=31)
-        cache = schedule_cache()
-        cache.clear()
-        measure_routing(network, pi, sim_backend="reference")
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        session = Session()
+        session.route(pi, network=network)
+        assert session.cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
 
 
 class TestShardedSweeps:
     CONFIGS = ((4, 4), (8, 4))
 
     def test_sharded_matches_unsharded_bit_for_bit(self):
-        unsharded = run_parallel_sweep(
-            configs=self.CONFIGS, trials=5, seed=11, max_workers=0
-        )
+        unsharded = sweep(self.CONFIGS, trials=5, seed=11, workers=0)
         for shard in (1, 2, 5, 7):
-            sharded = run_parallel_sweep(
-                configs=self.CONFIGS,
-                trials=5,
-                seed=11,
-                max_workers=0,
-                shard_trials=shard,
+            sharded = sweep(
+                self.CONFIGS, trials=5, seed=11, workers=0, shard_trials=shard
             )
             assert sharded.rows == unsharded.rows
             assert sharded.all_pass
 
     def test_sharded_matches_with_worker_processes(self):
         """Fanning shards across processes (when available) changes nothing."""
-        serial = run_parallel_sweep(
-            configs=((4, 4),), trials=4, seed=13, max_workers=0, shard_trials=2
-        )
-        fanned = run_parallel_sweep(
-            configs=((4, 4),), trials=4, seed=13, max_workers=2, shard_trials=2
-        )
+        serial = sweep(((4, 4),), trials=4, seed=13, workers=0, shard_trials=2)
+        fanned = sweep(((4, 4),), trials=4, seed=13, workers=2, shard_trials=2)
         assert fanned.rows == serial.rows
 
     def test_sweep_matches_e1_rows(self):
         """E1p (sharded or not) reproduces E1's rows for the same seed."""
-        e1 = run_theorem2_sweep(
-            configs=self.CONFIGS, trials=3, seed=19, sim_backend="batched"
-        )
-        e1p = run_parallel_sweep(
-            configs=self.CONFIGS, trials=3, seed=19, max_workers=0, shard_trials=2
-        )
+        e1 = Session(
+            RunConfig(trials=3, seed=19, sim_backend="batched")
+        ).experiment("E1", configs=self.CONFIGS)
+        e1p = sweep(self.CONFIGS, trials=3, seed=19, workers=0, shard_trials=2)
         assert e1p.rows == e1.rows
 
     def test_repeated_sweep_skips_lowering(self):
-        """Re-running the same sweep in-process serves every compile from cache."""
-        schedule_cache().clear()
-        kwargs = dict(
-            configs=((4, 4),), trials=4, seed=11, max_workers=0, cache_stats=True
+        """Re-running the same sweep in one session serves compiles from cache."""
+        session = Session(
+            RunConfig(trials=4, seed=11, workers=0, cache_stats=True)
         )
-        first = run_parallel_sweep(**kwargs)
-        second = run_parallel_sweep(**kwargs)
+        first = session.sweep(((4, 4),))
+        second = session.sweep(((4, 4),))
         assert first.notes["schedule cache"] == "0 hits / 4 misses"
         assert second.notes["schedule cache"] == "4 hits / 0 misses"
         assert second.rows == first.rows
 
     def test_cache_stats_note(self):
-        result = run_parallel_sweep(
-            configs=((2, 2),),
-            trials=2,
-            seed=3,
-            max_workers=0,
-            cache_stats=True,
-        )
+        result = sweep(((2, 2),), trials=2, seed=3, workers=0, cache_stats=True)
         note = result.notes["schedule cache"]
         assert "hits" in note and "misses" in note
 
     def test_shard_note_records_shard_size(self):
-        result = run_parallel_sweep(
-            configs=((2, 2),), trials=4, seed=3, max_workers=0, shard_trials=3
-        )
+        result = sweep(((2, 2),), trials=4, seed=3, workers=0, shard_trials=3)
         assert result.notes["trials per shard"] == 3
 
     def test_invalid_shard_size_rejected(self):
         with pytest.raises(ValueError):
-            run_parallel_sweep(
-                configs=((2, 2),), trials=2, seed=3, max_workers=0, shard_trials=0
-            )
+            sweep(((2, 2),), trials=2, seed=3, workers=0, shard_trials=0)
 
     def test_zero_trials_rejected_cleanly(self):
         with pytest.raises(ValueError, match="trials"):
-            run_parallel_sweep(configs=((2, 2),), trials=0, seed=3, max_workers=0)
+            sweep(((2, 2),), trials=0, seed=3, workers=0)
         with pytest.raises(ValueError, match="trials"):
-            run_theorem2_sweep(configs=((2, 2),), trials=0, seed=3)
+            Session(RunConfig(trials=1)).experiment("E1", trials=0)

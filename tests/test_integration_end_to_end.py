@@ -17,7 +17,7 @@ from repro import (
     PermutationRouter,
     theorem2_slot_bound,
 )
-from repro.analysis.metrics import measure_routing
+from repro.api import Session
 from repro.patterns.families import (
     all_hypercube_exchanges,
     bit_reversal_permutation,
@@ -51,23 +51,23 @@ class TestPublicApiWorkflow:
             "bit reversal": bit_reversal_permutation(n),
         }
         for name, pi in families.items():
-            metrics = measure_routing(network, pi)
+            metrics = Session().route(pi, network=network)
             assert metrics.meets_theorem2_bound, name
 
     def test_hypercube_steps_all_dimensions(self):
         network = POPSNetwork(8, 4)
         for pi in all_hypercube_exchanges(network.n):
-            assert measure_routing(network, pi).slots == 4
+            assert Session().route(pi, network=network).slots == 4
 
     def test_mesh_steps_both_axes(self):
         network = POPSNetwork(6, 6)
         for pi in (mesh_row_shift(6), mesh_row_shift(6, -1), mesh_column_shift(6), mesh_column_shift(6, -1)):
-            assert measure_routing(network, pi).slots == 2
+            assert Session().route(pi, network=network).slots == 2
 
     def test_transpose_router_vs_direct(self):
         network = POPSNetwork(16, 4)
         pi = matrix_transpose_permutation(8)
-        universal = measure_routing(network, pi).slots
+        universal = Session().route(pi, network=network).slots
         direct = DirectRouter(network).slots_required(pi)
         assert universal == 8      # 2 * ceil(16/4)
         assert direct == 4         # ceil(16/4): Sahni's optimal transpose
@@ -75,7 +75,7 @@ class TestPublicApiWorkflow:
     def test_composed_permutations_still_route(self, rng):
         network = POPSNetwork(4, 8)
         pi = compose(perfect_shuffle(32), vector_reversal(32))
-        assert measure_routing(network, pi).meets_theorem2_bound
+        assert Session().route(pi, network=network).meets_theorem2_bound
 
     def test_blocked_router_and_universal_router_agree_on_slots(self, rng):
         network = POPSNetwork(6, 3)
@@ -93,7 +93,7 @@ class TestWorkloadSweep:
             pytest.skip("no derangement on a single processor")
         generator = PermutationGenerator(network, rng)
         for pi in generator.batch(kind, 2):
-            metrics = measure_routing(network, pi)
+            metrics = Session().route(pi, network=network)
             assert metrics.meets_theorem2_bound
             assert metrics.slots >= best_known_lower_bound(network, pi)
 
@@ -101,7 +101,7 @@ class TestWorkloadSweep:
         network = POPSNetwork(4, 4)
         generator = PermutationGenerator(network, rng)
         for pi in generator.batch("group_moving_blocked", 2):
-            metrics = measure_routing(network, pi)
+            metrics = Session().route(pi, network=network)
             # Theorem 2 is exactly optimal on this class (Proposition 2).
             assert metrics.slots == metrics.lower_bound
 
@@ -111,11 +111,11 @@ class TestScaleSmoke:
     def test_moderately_large_network(self, rng):
         network = POPSNetwork(32, 16)
         pi = random_permutation(network.n, rng)
-        metrics = measure_routing(network, pi)
+        metrics = Session().route(pi, network=network)
         assert metrics.slots == 4
 
     @pytest.mark.slow
     def test_large_single_round_network(self, rng):
         network = POPSNetwork(16, 32)
         pi = random_permutation(network.n, rng)
-        assert measure_routing(network, pi).slots == 2
+        assert Session().route(pi, network=network).slots == 2

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from math import ceil
 
-from repro.analysis.metrics import measure_routing
+from repro.api import Session
 from repro.patterns.families import cyclic_shift, group_cyclic_shift, vector_reversal
 from repro.patterns.generators import (
     random_group_blocked_permutation,
@@ -104,7 +104,7 @@ class TestProposition2:
         for d, g in [(4, 4), (8, 4), (9, 3)]:
             network = POPSNetwork(d, g)
             pi = random_group_moving_blocked_permutation(network, rng)
-            metrics = measure_routing(network, pi)
+            metrics = Session().route(pi, network=network)
             assert metrics.slots == proposition2_lower_bound(network, pi)
 
 
@@ -150,5 +150,5 @@ class TestBestKnownLowerBound:
     def test_router_never_beats_lower_bound(self, network, rng):
         """Soundness of the bounds: measured slots are never below them."""
         pi = random_permutation(network.n, rng)
-        metrics = measure_routing(network, pi)
+        metrics = Session().route(pi, network=network)
         assert metrics.slots >= best_known_lower_bound(network, pi)
