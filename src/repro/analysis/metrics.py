@@ -131,25 +131,48 @@ def _measure_routing(
     that case cheap.
     """
     router = PermutationRouter(network, backend=router_backend, verify=verify)
-    plan = router.route(pi)
-    simulator = POPSSimulator(network, backend=sim_backend)
-    # Every engine except the reference one gets the cache key: the reference
-    # engine has no compile step to memoise, while plugin engines registered
-    # in SIM_ENGINES may cache compiled artefacts exactly like "batched".
-    cache_key = (
-        routing_cache_key(router_backend, network, plan.permutation)
-        if use_cache and sim_backend != "reference"
-        else None
-    )
-    result = simulator.route_and_verify(
-        plan.schedule, plan.packets, cache_key=cache_key, cache=cache
-    )
-    trace = result.trace
+    if sim_backend in ("batched", "auto"):
+        # Array-native fast path: the router emits the compiled-schedule
+        # arrays directly (bit-identical to routing object-level and
+        # lowering, so metrics and cache entries are unchanged), the batched
+        # engine executes them, and no per-packet Python objects are built.
+        # A permutation plan is always a consuming schedule, so "auto"
+        # resolves to the batched engine without probing.  The cache key
+        # covers the plan stage: a hit skips route construction entirely.
+        from repro.pops.engine import BatchedSimulator
+        from repro.utils.validation import check_permutation_array
+
+        images = check_permutation_array(pi, network.n)
+        cache_key = (
+            routing_cache_key(router_backend, network, images) if use_cache else None
+        )
+        compiled = router.route_compiled(images, cache_key=cache_key, cache=cache)
+        engine = BatchedSimulator(network)
+        engine.verify_locations(compiled, engine.execute(compiled))
+        slots = compiled.n_slots
+        trace = engine.compiled_trace(compiled)
+    else:
+        plan = router.route(pi)
+        simulator = POPSSimulator(network, backend=sim_backend)
+        # Every engine except the reference one gets the cache key: the
+        # reference engine has no compile step to memoise, while plugin
+        # engines registered in SIM_ENGINES may cache compiled artefacts
+        # exactly like "batched".
+        cache_key = (
+            routing_cache_key(router_backend, network, plan.permutation)
+            if use_cache and sim_backend != "reference"
+            else None
+        )
+        result = simulator.route_and_verify(
+            plan.schedule, plan.packets, cache_key=cache_key, cache=cache
+        )
+        slots = plan.n_slots
+        trace = result.trace
     return RoutingMetrics(
         d=network.d,
         g=network.g,
         n=network.n,
-        slots=plan.n_slots,
+        slots=slots,
         theorem2_bound=theorem2_slot_bound(network.d, network.g),
         lower_bound=best_known_lower_bound(network, pi),
         couplers_used_total=trace.total_packets_moved,

@@ -169,6 +169,7 @@ EXPERIMENTS = Registry("experiment")
 
 def ensure_builtin_backends() -> None:
     """Import the core modules whose import registers the built-in backends."""
+    import repro.graph.array_coloring  # noqa: F401  (registers konig-array/euler-array)
     import repro.graph.edge_coloring  # noqa: F401  (registers konig/euler)
     import repro.pops.simulator  # noqa: F401  (registers reference/batched)
 

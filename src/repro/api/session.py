@@ -147,6 +147,47 @@ class Session:
             cache=self.cache,
         )
 
+    def route_compiled(
+        self,
+        pi: Sequence[int],
+        *,
+        network: POPSNetwork | None = None,
+        d: int | None = None,
+        g: int | None = None,
+        verify: bool = True,
+    ):
+        """Compile the Theorem 2 plan for ``pi`` straight to schedule arrays.
+
+        The array-native routing front end
+        (:meth:`~repro.routing.permutation_router.PermutationRouter.
+        route_compiled`): returns the
+        :class:`~repro.pops.engine.CompiledSchedule` ready for the batched
+        engines, bit-identical to routing object-level and compiling, with
+        no intermediate per-packet Python objects for the array router
+        backends (``"konig-array"`` / ``"euler-array"``; other backends fall
+        back transparently).  With the cache policy ``"on"`` the plan is
+        memoised in the session cache under the deterministic-router key, so
+        re-routing a seen permutation skips construction entirely.
+        """
+        from repro.analysis.metrics import routing_cache_key
+        from repro.routing.permutation_router import PermutationRouter
+
+        if network is None:
+            if d is None or g is None:
+                raise ConfigurationError(
+                    "route_compiled() needs either network= or both d= and g="
+                )
+            network = POPSNetwork(d, g)
+        router = PermutationRouter(
+            network, backend=self.config.router_backend, verify=verify
+        )
+        cache_key = (
+            routing_cache_key(self.config.router_backend, network, pi)
+            if self.config.cache_policy == "on"
+            else None
+        )
+        return router.route_compiled(pi, cache_key=cache_key, cache=self.cache)
+
     def simulate(
         self,
         schedule: RoutingSchedule,

@@ -30,6 +30,12 @@ broadcast/collective schedules, reference as the last resort)::
 
     pops-repro route --d 32 --g 32 --sim-backend auto
 
+Route with the array-native front end end to end — vectorized edge colouring
+(``konig-array`` / ``euler-array``) feeding the compiled-schedule fast path of
+the batched engine, no per-packet Python objects::
+
+    pops-repro route --d 32 --g 32 --backend euler-array --sim-backend batched
+
 Run the collective-scale experiment on the multi-location engine::
 
     pops-repro run E9

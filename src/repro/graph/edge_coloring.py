@@ -185,13 +185,16 @@ def verify_edge_coloring(graph: BipartiteMultigraph, coloring: EdgeColoring) -> 
             rights_seen.add(right)
             counted[(left, right)] = counted.get((left, right), 0) + 1
 
-    expected = {
-        (left, right): mult for left, right, mult in graph.edges_with_multiplicity()
-    }
-    if counted != expected:
-        missing = {e: m for e, m in expected.items() if counted.get(e, 0) != m}
-        extra = {e: m for e, m in counted.items() if expected.get(e, 0) != m}
+    # Multiset equality in a single counting pass: drain the colouring's
+    # counts against the graph's multiplicities; whatever disagrees or
+    # survives is exactly the mismatch (no expected/extra dict rebuilds).
+    mismatched: dict[tuple[int, int], tuple[int, int]] = {}
+    for left, right, mult in graph.edges_with_multiplicity():
+        found = counted.pop((left, right), 0)
+        if found != mult:
+            mismatched[(left, right)] = (mult, found)
+    if mismatched or counted:
         raise EdgeColoringError(
-            f"colouring does not match graph edges; mismatched (expected) {missing}, "
-            f"(coloured) {extra}"
+            "colouring does not match graph edges; "
+            f"(edge: expected, coloured) {mismatched}, unexpected {counted}"
         )

@@ -18,12 +18,22 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.exceptions import NoPerfectMatchingError, NotRegularError
 from repro.graph.multigraph import BipartiteMultigraph
 
-__all__ = ["hopcroft_karp", "maximum_matching", "perfect_matching_regular"]
+__all__ = [
+    "hopcroft_karp",
+    "hopcroft_karp_csr",
+    "maximum_matching",
+    "perfect_matching_regular",
+]
 
-_INFINITY = float("inf")
+#: Edge-count threshold below which :func:`hopcroft_karp_csr` delegates to
+#: the list-based :func:`hopcroft_karp` (numpy per-call overhead dominates
+#: vectorization gains on graphs this small).
+_SMALL_GRAPH_EDGES = 2048
 
 
 def hopcroft_karp(adjacency: Sequence[Sequence[int]], n_right: int) -> dict[int, int]:
@@ -44,16 +54,20 @@ def hopcroft_karp(adjacency: Sequence[Sequence[int]], n_right: int) -> dict[int,
     n_left = len(adjacency)
     match_left: list[int] = [-1] * n_left
     match_right: list[int] = [-1] * n_right
-    distance: list[float] = [0.0] * n_left
+    # BFS levels are small non-negative ints (an alternating path visits each
+    # left vertex at most once, so levels stay below n_left); n_left + 1 is a
+    # safe "unreached / dead" sentinel that no real level + 1 can equal.
+    unreached = n_left + 1
+    distance: list[int] = [0] * n_left
 
     def bfs() -> bool:
         queue: deque[int] = deque()
         for left in range(n_left):
             if match_left[left] == -1:
-                distance[left] = 0.0
+                distance[left] = 0
                 queue.append(left)
             else:
-                distance[left] = _INFINITY
+                distance[left] = unreached
         found_augmenting = False
         while queue:
             left = queue.popleft()
@@ -61,7 +75,7 @@ def hopcroft_karp(adjacency: Sequence[Sequence[int]], n_right: int) -> dict[int,
                 nxt = match_right[right]
                 if nxt == -1:
                     found_augmenting = True
-                elif distance[nxt] == _INFINITY:
+                elif distance[nxt] == unreached:
                     distance[nxt] = distance[left] + 1
                     queue.append(nxt)
         return found_augmenting
@@ -73,7 +87,7 @@ def hopcroft_karp(adjacency: Sequence[Sequence[int]], n_right: int) -> dict[int,
                 match_left[left] = right
                 match_right[right] = left
                 return True
-        distance[left] = _INFINITY
+        distance[left] = unreached
         return False
 
     while bfs():
@@ -82,6 +96,159 @@ def hopcroft_karp(adjacency: Sequence[Sequence[int]], n_right: int) -> dict[int,
                 dfs(left)
 
     return {left: right for left, right in enumerate(match_left) if right != -1}
+
+
+def hopcroft_karp_csr(
+    indptr: np.ndarray, indices: np.ndarray, n_right: int
+) -> np.ndarray:
+    """Hopcroft–Karp on a CSR adjacency, with the heavy phases vectorized.
+
+    Three stages, tuned for the array colouring backends (few vertices, many
+    edge instances, called once per colour):
+
+    1. a vectorized greedy seed — every free left vertex proposes its current
+       arc, one proposer per right vertex wins, losers advance their arc —
+       which matches the bulk of the vertices in whole-array operations;
+    2. the layered BFS of Hopcroft–Karp as one multi-row CSR gather per
+       layer (integer levels, ``n_left + 1`` as the unreached sentinel);
+    3. the augmenting DFS over plain Python lists (the vertex set is small,
+       and list indexing beats numpy scalar indexing several-fold there).
+
+    Parameters
+    ----------
+    indptr / indices:
+        CSR adjacency of the left side: row ``v`` lists the distinct
+        right-side neighbours ``indices[indptr[v]:indptr[v + 1]]``.
+    n_right:
+        Number of right-side vertices.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``match_left`` with ``match_left[v]`` the matched right vertex of
+        ``v`` (``-1`` when unmatched).
+    """
+    n_left = int(indptr.shape[0]) - 1
+    unreached = n_left + 1
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+
+    # Below a few thousand edges the fixed cost of each numpy call exceeds
+    # the work it vectorizes; the plain list implementation wins outright.
+    if indices.size <= _SMALL_GRAPH_EDGES:
+        bounds = indptr.tolist()
+        flat = indices.tolist()
+        adjacency = [
+            flat[bounds[left]:bounds[left + 1]] for left in range(n_left)
+        ]
+        matching = hopcroft_karp(adjacency, n_right)
+        match_left = np.full(n_left, -1, dtype=np.int64)
+        for left, right in matching.items():
+            match_left[left] = right
+        return match_left
+
+    match_left = np.full(n_left, -1, dtype=np.int64)
+    match_right = np.full(n_right, -1, dtype=np.int64)
+
+    # -- stage 1: vectorized greedy seed ----------------------------------
+    arc = indptr[:-1].copy()
+    row_end = indptr[1:]
+    while True:
+        active = np.flatnonzero((match_left == -1) & (arc < row_end))
+        if active.size == 0:
+            break
+        proposed = indices[arc[active]]
+        open_right = match_right[proposed] == -1
+        winners_left = active[open_right]
+        winners_right = proposed[open_right]
+        if winners_left.size:
+            _, first = np.unique(winners_right, return_index=True)
+            match_left[winners_left[first]] = winners_right[first]
+            match_right[winners_right[first]] = winners_left[first]
+        still_free = active[match_left[active] == -1]
+        arc[still_free] += 1
+
+    # -- stages 2 + 3: Hopcroft–Karp phases -------------------------------
+    ml = match_left.tolist()
+    mr = match_right.tolist()
+    indptr_list = indptr.tolist()
+    indices_list = indices.tolist()
+    level_list = [unreached] * n_left
+
+    def bfs() -> bool:
+        match_right_arr = np.array(mr, dtype=np.int64)
+        level = np.full(n_left, unreached, dtype=np.int64)
+        frontier = np.flatnonzero(np.array(ml, dtype=np.int64) == -1)
+        level[frontier] = 0
+        found_augmenting = False
+        depth = 0
+        while frontier.size:
+            depth += 1
+            starts = indptr[frontier]
+            lens = indptr[frontier + 1] - starts
+            total = int(lens.sum())
+            if total == 0:
+                break
+            offsets = np.concatenate(([0], np.cumsum(lens)[:-1]))
+            gather = (
+                np.arange(total) - np.repeat(offsets, lens) + np.repeat(starts, lens)
+            )
+            nxt = match_right_arr[indices[gather]]
+            if (nxt == -1).any():
+                found_augmenting = True
+            candidates = np.unique(nxt[nxt >= 0])
+            candidates = candidates[level[candidates] == unreached]
+            level[candidates] = depth
+            frontier = candidates
+        level_list[:] = level.tolist()
+        return found_augmenting
+
+    def dfs(root: int) -> bool:
+        # Iterative augmenting search (graphs can have thousands of vertices
+        # and an augmenting path may visit most of them, so recursion is out).
+        # Each frame is [left vertex, current arc position]; finding a free
+        # right vertex augments along every frame's current arc.
+        stack = [[root, indptr_list[root]]]
+        while stack:
+            frame = stack[-1]
+            left, position = frame
+            end = indptr_list[left + 1]
+            descend = -1
+            augment = False
+            while position < end:
+                right = indices_list[position]
+                nxt = mr[right]
+                if nxt == -1:
+                    augment = True
+                    break
+                if level_list[nxt] == level_list[left] + 1:
+                    descend = nxt
+                    break
+                position += 1
+            frame[1] = position
+            if augment:
+                for vertex, arc in stack:
+                    matched_right = indices_list[arc]
+                    ml[vertex] = matched_right
+                    mr[matched_right] = vertex
+                return True
+            if descend >= 0:
+                stack.append([descend, indptr_list[descend]])
+                continue
+            # Dead end: mark the vertex unreachable for this phase and let
+            # the parent try its next arc.
+            level_list[left] = unreached
+            stack.pop()
+            if stack:
+                stack[-1][1] += 1
+        return False
+
+    while bfs():
+        for left in range(n_left):
+            if ml[left] == -1:
+                dfs(left)
+
+    return np.array(ml, dtype=np.int64)
 
 
 def maximum_matching(graph: BipartiteMultigraph) -> dict[int, int]:

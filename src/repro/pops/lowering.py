@@ -43,6 +43,7 @@ __all__ = [
     "lower_schedule",
     "classify_schedule",
     "group_firsts",
+    "assemble_compiled_plan",
 ]
 
 
@@ -160,6 +161,68 @@ def group_firsts(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         new_group[0] = True
         new_group[1:] = ~same
     return order, same, new_group
+
+
+def assemble_compiled_plan(
+    network: POPSNetwork,
+    packets: list[Packet],
+    tx_sender: np.ndarray,
+    tx_packet: np.ndarray,
+    tx_coupler: np.ndarray,
+    tx_counts: list[int],
+    del_receiver: np.ndarray,
+    del_packet: np.ndarray,
+    del_counts: list[int],
+    initial_loc: np.ndarray,
+    pk_destination: np.ndarray,
+):
+    """Ingest a pre-compiled *conflict-free* routing plan as a
+    :class:`~repro.pops.engine.CompiledSchedule`.
+
+    The array-native router front end builds its per-slot transmission and
+    delivery arrays directly from the permutation; for such plans the full
+    lowering join is redundant structure-recovery: every driven coupler
+    carries exactly one consuming transmission (payloads *are* the
+    transmissions), every sent packet leaves its sender (consumed *are* the
+    sent packets), and every reception reads a driven coupler (no idle
+    reads).  This helper packages those arrays in the exact layout
+    :func:`lower_schedule` + :func:`repro.pops.engine.compile_schedule`
+    produce, so a plan compiled here is bit-identical to lowering the
+    equivalent object schedule.
+
+    ``tx_counts`` / ``del_counts`` give the per-slot segment lengths of the
+    concatenated arrays.
+    """
+    from repro.pops.engine import CompiledSchedule
+
+    n_slots = len(tx_counts)
+    tx_ptr = np.concatenate(
+        ([0], np.cumsum(np.asarray(tx_counts, dtype=np.int64)))
+    )
+    del_ptr = np.concatenate(
+        ([0], np.cumsum(np.asarray(del_counts, dtype=np.int64)))
+    )
+    no_idle = np.full(n_slots, -1, dtype=np.int64)
+    return CompiledSchedule(
+        network=network,
+        packets=packets,
+        n_slots=n_slots,
+        tx_sender=tx_sender,
+        tx_packet=tx_packet,
+        tx_ptr=tx_ptr,
+        pay_coupler=tx_coupler,
+        pay_packet=tx_packet,
+        pay_ptr=tx_ptr,
+        del_receiver=del_receiver,
+        del_packet=del_packet,
+        del_ptr=del_ptr,
+        con_packet=tx_packet,
+        con_ptr=tx_ptr,
+        idle_receiver=no_idle,
+        idle_coupler=no_idle.copy(),
+        initial_loc=initial_loc,
+        pk_destination=pk_destination,
+    )
 
 
 def _same_payload(existing: Packet, packet: Packet) -> bool:

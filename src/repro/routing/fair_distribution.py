@@ -20,12 +20,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.exceptions import FairnessViolationError
-from repro.graph.edge_coloring import edge_color, verify_edge_coloring
-from repro.graph.regularize import pad_to_regular
-from repro.routing.list_system import ListSystem
+import numpy as np
 
-__all__ = ["FairDistribution", "FairDistributionSolver", "verify_fair_distribution"]
+from repro.exceptions import EdgeColoringError, FairnessViolationError
+from repro.graph.array_multigraph import ArrayMultigraph
+from repro.graph.edge_coloring import edge_color, verify_edge_coloring
+from repro.graph.regularize import pad_to_regular, pad_to_regular_arrays
+from repro.routing.list_system import ListSystem, check_proper_lists_array
+
+__all__ = [
+    "FairDistribution",
+    "FairDistributionSolver",
+    "verify_fair_distribution",
+    "verify_fair_distribution_arrays",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +124,62 @@ def verify_fair_distribution(
             )
 
 
+def verify_fair_distribution_arrays(
+    lists: np.ndarray, assignment: np.ndarray, n_targets: int
+) -> None:
+    """Vectorized fair-distribution check for the array solving path.
+
+    ``lists`` and ``assignment`` are the ``(n1, Δ1)`` list and target arrays;
+    conditions (1)–(3) are verified with sorted-key passes and ``bincount``.
+
+    Raises
+    ------
+    FairnessViolationError
+        On the first violation, mirroring :func:`verify_fair_distribution`'s
+        messages.
+    """
+    n_sources, delta1 = lists.shape
+    delta2 = (n_sources * delta1) // n_targets
+    if assignment.shape != lists.shape:
+        raise FairnessViolationError(
+            f"assignment has shape {assignment.shape}, expected {lists.shape}"
+        )
+    if assignment.size and (
+        assignment.min() < 0 or assignment.max() >= n_targets
+    ):
+        bad = np.flatnonzero((assignment < 0) | (assignment >= n_targets))[0]
+        raise FairnessViolationError(
+            f"target {int(assignment.ravel()[bad])} of source "
+            f"{int(bad) // delta1} outside T = [0, {n_targets})"
+        )
+    # Condition (1): all Δ1 targets of a source are distinct.
+    row_sorted = np.sort(assignment, axis=1)
+    repeats = (row_sorted[:, 1:] == row_sorted[:, :-1]).any(axis=1)
+    if repeats.any():
+        source = int(np.flatnonzero(repeats)[0])
+        raise FairnessViolationError(
+            f"source {source} reuses a target: {assignment[source].tolist()}"
+        )
+    # Condition (3): pairs sharing the same list value get distinct targets.
+    pair_key = np.sort(lists.ravel() * np.int64(n_targets) + assignment.ravel())
+    clash = np.flatnonzero(pair_key[1:] == pair_key[:-1])
+    if clash.size:
+        key = int(pair_key[clash[0]])
+        raise FairnessViolationError(
+            f"two pairs with list value {key // n_targets} share target "
+            f"{key % n_targets}"
+        )
+    # Condition (2): every target carries exactly Δ2 pairs.
+    load = np.bincount(assignment.ravel(), minlength=n_targets)
+    unbalanced = np.flatnonzero(load != delta2)
+    if unbalanced.size:
+        target = int(unbalanced[0])
+        raise FairnessViolationError(
+            f"target {target} is assigned {int(load[target])} pairs, "
+            f"expected Δ2={delta2}"
+        )
+
+
 class FairDistributionSolver:
     """Computes fair distributions by the constructive proof of Theorem 1.
 
@@ -186,3 +250,77 @@ class FairDistributionSolver:
         if self.verify:
             distribution.verify()
         return distribution
+
+    def solve_array(self, lists: np.ndarray, n_targets: int) -> np.ndarray:
+        """Array-native fair distribution: ``(n1, Δ1)`` lists in, targets out.
+
+        The whole Theorem 1 pipeline without Python object structures: the
+        list-system multigraph is scatter-built
+        (:meth:`~repro.graph.array_multigraph.ArrayMultigraph.from_instances`),
+        padded with :func:`~repro.graph.regularize.pad_to_regular_arrays`,
+        coloured by the backend's array kernel, and the colours are read back
+        into the ``(n1, Δ1)`` assignment with two sorts.  For a given array
+        backend the result is *identical* to :meth:`solve` on the equivalent
+        :class:`~repro.routing.list_system.ListSystem` — both pipelines hand
+        the same canonical arrays to the same deterministic kernel and read
+        colours back per edge in ascending order.
+
+        Raises
+        ------
+        EdgeColoringError
+            If the configured backend has no array kernel (only
+            ``"konig-array"`` / ``"euler-array"`` qualify).
+        ImproperListSystemError / FairnessViolationError
+            As :meth:`solve`.
+        """
+        from repro.graph.array_coloring import (
+            ARRAY_COLORING_KERNELS,
+            verify_instance_coloring,
+        )
+
+        kernel = ARRAY_COLORING_KERNELS.get(self.backend)
+        if kernel is None:
+            raise EdgeColoringError(
+                f"backend {self.backend!r} has no array colouring kernel; "
+                f"available: {sorted(ARRAY_COLORING_KERNELS)}"
+            )
+        lists = np.asarray(lists, dtype=np.int64)
+        n_sources, delta1 = lists.shape
+        check_proper_lists_array(lists, n_targets)
+
+        core = ArrayMultigraph.from_instances(
+            n_sources,
+            n_sources,
+            np.repeat(np.arange(n_sources, dtype=np.int64), delta1),
+            lists.ravel(),
+        )
+        padded = pad_to_regular_arrays(core, n_targets)
+        colors = kernel(padded.graph)
+        if self.verify:
+            verify_instance_coloring(padded.graph, colors)
+
+        # Read back: core instances carry the assigned targets.  Sorting the
+        # instances by (source, value, colour) and the list positions by
+        # (source, value, position) aligns the k-th colour of each edge with
+        # the k-th occurrence of its value — the object pipeline's ascending
+        # colour / ascending position pairing.
+        instance_left, instance_right = padded.graph.instances()
+        core_mask = (instance_left < n_sources) & (instance_right < n_sources)
+        edge_key = (
+            instance_left[core_mask] * np.int64(n_sources)
+            + instance_right[core_mask]
+        )
+        core_colors = colors[core_mask]
+        instance_order = np.lexsort((core_colors, edge_key))
+        position_key = (
+            np.repeat(np.arange(n_sources, dtype=np.int64), delta1)
+            * np.int64(n_sources)
+            + lists.ravel()
+        )
+        position_order = np.argsort(position_key, kind="stable")
+        assignment = np.empty(n_sources * delta1, dtype=np.int64)
+        assignment[position_order] = core_colors[instance_order]
+        assignment = assignment.reshape(n_sources, delta1)
+        if self.verify:
+            verify_fair_distribution_arrays(lists, assignment, n_targets)
+        return assignment

@@ -33,17 +33,23 @@ conflict-free.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Hashable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.exceptions import RoutingError
 from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule
 from repro.pops.topology import POPSNetwork
 from repro.routing.fair_distribution import FairDistribution, FairDistributionSolver
-from repro.routing.list_system import ListSystem
+from repro.routing.list_system import ListSystem, destination_group_lists
 from repro.routing.two_hop import build_theorem2_schedule
-from repro.utils.validation import check_permutation
+from repro.utils.validation import check_permutation, check_permutation_array
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pops.engine import CompiledSchedule, ScheduleCache
 
 __all__ = ["PermutationRouter", "RoutingPlan", "theorem2_slot_bound"]
 
@@ -153,6 +159,271 @@ class PermutationRouter:
     def slots_required(self) -> int:
         """Slot count Theorem 2 guarantees on this router's network."""
         return theorem2_slot_bound(self.network.d, self.network.g)
+
+    def route_compiled(
+        self,
+        pi: Sequence[int],
+        *,
+        cache_key: Hashable | None = None,
+        cache: ScheduleCache | None = None,
+    ) -> CompiledSchedule:
+        """Route ``pi`` straight to compiled-schedule arrays.
+
+        The array-native fast path of :meth:`route`: the fair distribution is
+        solved on integer arrays (:meth:`~repro.routing.fair_distribution.
+        FairDistributionSolver.solve_array`) and the Theorem 2 scatter/deliver
+        structure is emitted directly as the per-slot arrays of a
+        :class:`~repro.pops.engine.CompiledSchedule` — no ``Transmission`` /
+        ``Reception`` / ``SlotProgram`` objects and no lowering pass.  The
+        result is bit-identical to ``compile_schedule(network,
+        plan.schedule, plan.packets)`` over this router's :meth:`route` plan:
+        array backends (``"konig-array"``, ``"euler-array"``) take the array
+        pipeline; other backends transparently fall back to routing
+        object-level and compiling, so the method is safe for any backend.
+
+        ``cache_key`` extends the compiled-schedule cache to the *plan*
+        stage: under the usual deterministic-router contract
+        (:func:`repro.analysis.metrics.routing_cache_key`), a hit skips route
+        construction entirely, not just lowering.  ``cache`` overrides the
+        process-wide cache.
+        """
+        store = None
+        if cache_key is not None:
+            from repro.pops.engine import schedule_cache
+
+            store = cache if cache is not None else schedule_cache()
+            compiled = store.get(cache_key)
+            if compiled is not None:
+                return compiled
+        compiled = self._route_compiled_uncached(pi)
+        if store is not None:
+            store.put(cache_key, compiled)
+        return compiled
+
+    # -- array-native plan construction --------------------------------------------
+
+    def _route_compiled_uncached(self, pi: Sequence[int]) -> CompiledSchedule:
+        from repro.graph.array_coloring import ARRAY_COLORING_KERNELS
+        from repro.pops.engine import compile_schedule
+        from repro.pops.lowering import assemble_compiled_plan
+
+        network = self.network
+        d, g = network.d, network.g
+        if d > 1 and self.solver.backend not in ARRAY_COLORING_KERNELS:
+            plan = self.route(pi)
+            return compile_schedule(network, plan.schedule, plan.packets)
+
+        images = check_permutation_array(pi, network.n)
+        n = network.n
+        src = np.arange(n, dtype=np.int64)
+        dest = images
+        # C-level iteration; the packet list is the only per-processor Python
+        # object the fast path materialises (it is part of the compiled
+        # schedule's public contract, not an intermediate).
+        packets = list(map(Packet, range(n), images.tolist()))
+
+        if d == 1:
+            # POPS(1, n) is fully connected: one direct slot, coupler
+            # c(dest_group, source_group) with singleton groups.
+            compiled = assemble_compiled_plan(
+                network,
+                packets,
+                tx_sender=src,
+                tx_packet=src,
+                tx_coupler=dest * g + src,
+                tx_counts=[n],
+                del_receiver=dest,
+                del_packet=src,
+                del_counts=[n],
+                initial_loc=src,
+                pk_destination=dest,
+            )
+        elif d <= g:
+            compiled = self._compile_two_slot(images, packets)
+        else:
+            compiled = self._compile_rounds(images, packets)
+
+        expected = theorem2_slot_bound(d, g)
+        if compiled.n_slots != expected:
+            raise RoutingError(
+                f"internal error: produced {compiled.n_slots} slots, "
+                f"Theorem 2 promises {expected}"
+            )
+        return compiled
+
+    def _compile_two_slot(
+        self, images: np.ndarray, packets: list[Packet]
+    ) -> CompiledSchedule:
+        """Array twin of :func:`~repro.routing.two_hop.build_two_slot_schedule`."""
+        from repro.pops.lowering import assemble_compiled_plan
+
+        network = self.network
+        d, g = network.d, network.g
+        n = network.n
+        src = np.arange(n, dtype=np.int64)
+        source_group = src // d
+        dest = images
+        dest_group = dest // d
+        fair = self.solver.solve_array(
+            destination_group_lists(images, d, g), g
+        )
+        fair_value = fair.ravel()
+
+        bad = np.flatnonzero((fair_value < 0) | (fair_value >= g))
+        if bad.size:
+            raise RoutingError(
+                f"fair value {int(fair_value[bad[0]])} for processor "
+                f"{int(bad[0])} is not a group"
+            )
+        arrivals = np.bincount(fair_value, minlength=g)
+        unbalanced = np.flatnonzero(arrivals != d)
+        if unbalanced.size:
+            j = int(unbalanced[0])
+            raise RoutingError(
+                f"intermediate group {j} receives {int(arrivals[j])} packets, "
+                f"expected exactly d={d} (fair-distribution condition 2 violated)"
+            )
+        # Scatter: processor (h, i) drives c(f(h, i), h); the receiver in
+        # group j for the packet from group h is processor (j, rank of h),
+        # i.e. sorting sources by (f, h) lines receivers up as 0..n-1.
+        scatter_coupler = fair_value * g + source_group
+        scatter_order = np.argsort(scatter_coupler, kind="stable")
+        sorted_coupler = scatter_coupler[scatter_order]
+        duplicate = np.flatnonzero(sorted_coupler[1:] == sorted_coupler[:-1])
+        if duplicate.size:
+            j = int(sorted_coupler[duplicate[0]]) // g
+            raise RoutingError(
+                f"intermediate group {j} receives two packets from the "
+                "same source group (fair-distribution condition 1 violated)"
+            )
+        holder = np.empty(n, dtype=np.int64)
+        holder[scatter_order] = src
+
+        # Deliver (Fact 1): the holder's group is the fair value.
+        deliver_coupler = dest_group * g + fair_value
+        sorted_deliver = np.sort(deliver_coupler)
+        clash = np.flatnonzero(sorted_deliver[1:] == sorted_deliver[:-1])
+        if clash.size:
+            key = int(sorted_deliver[clash[0]])
+            raise RoutingError(
+                f"delivery slot needs coupler c({key // g}, {key % g}) twice; "
+                "the packets were not fairly distributed after the scatter slot"
+            )
+
+        return assemble_compiled_plan(
+            network,
+            packets,
+            tx_sender=np.concatenate((src, holder)),
+            tx_packet=np.concatenate((src, src)),
+            tx_coupler=np.concatenate((scatter_coupler, deliver_coupler)),
+            tx_counts=[n, n],
+            del_receiver=np.concatenate((src, dest)),
+            del_packet=np.concatenate((scatter_order, src)),
+            del_counts=[n, n],
+            initial_loc=src,
+            pk_destination=dest,
+        )
+
+    def _compile_rounds(
+        self, images: np.ndarray, packets: list[Packet]
+    ) -> CompiledSchedule:
+        """Array twin of :func:`~repro.routing.two_hop.build_round_schedule`."""
+        from repro.pops.lowering import assemble_compiled_plan
+
+        network = self.network
+        d, g = network.d, network.g
+        n = network.n
+        src = np.arange(n, dtype=np.int64)
+        source_group = src // d
+        dest = images
+        dest_group = dest // d
+        fair = self.solver.solve_array(
+            destination_group_lists(images, d, g), d
+        )
+        fair_value = fair.ravel()
+
+        bad = np.flatnonzero((fair_value < 0) | (fair_value >= d))
+        if bad.size:
+            raise RoutingError(
+                f"fair value {int(fair_value[bad[0]])} for processor "
+                f"{int(bad[0])} is outside N_d"
+            )
+        injective_key = np.sort(source_group * d + fair_value)
+        duplicate = np.flatnonzero(injective_key[1:] == injective_key[:-1])
+        if duplicate.size:
+            key = int(injective_key[duplicate[0]])
+            raise RoutingError(
+                f"group {key // d} assigns fair value {key % d} twice "
+                "(fair-distribution condition 1 violated)"
+            )
+
+        # Round k moves the packets with fair value in [k·g, (k+1)·g); the
+        # within-round intermediate group is the value minus k·g.
+        round_of = fair_value // g
+        intermediate = fair_value % g
+        n_rounds = (d + g - 1) // g
+        order = np.argsort(round_of, kind="stable")
+        members = src[order]
+        member_ig = intermediate[order]
+        member_group = source_group[order]
+        member_destg = dest_group[order]
+        holders = member_ig * d + member_group
+
+        g2 = g * g
+        scatter_key = round_of[order] * g2 + member_ig * g + member_group
+        sorted_scatter = np.sort(scatter_key)
+        clash = np.flatnonzero(sorted_scatter[1:] == sorted_scatter[:-1])
+        if clash.size:
+            key = int(sorted_scatter[clash[0]]) % g2
+            raise RoutingError(
+                f"two packets of one round share coupler c({key // g},{key % g}) "
+                "(fair-distribution condition 2 violated)"
+            )
+        deliver_key = round_of[order] * g2 + member_destg * g + member_ig
+        sorted_deliver = np.sort(deliver_key)
+        clash = np.flatnonzero(sorted_deliver[1:] == sorted_deliver[:-1])
+        if clash.size:
+            key = int(sorted_deliver[clash[0]]) % g2
+            raise RoutingError(
+                f"delivery slot needs coupler c({key // g}, {key % g}) twice; "
+                "the packets were not fairly distributed after the scatter slot"
+            )
+
+        bounds = np.concatenate(
+            ([0], np.cumsum(np.bincount(round_of, minlength=n_rounds)))
+        )
+        tx_sender_parts: list[np.ndarray] = []
+        tx_packet_parts: list[np.ndarray] = []
+        tx_coupler_parts: list[np.ndarray] = []
+        del_receiver_parts: list[np.ndarray] = []
+        del_packet_parts: list[np.ndarray] = []
+        slot_counts: list[int] = []
+        for k in range(n_rounds):
+            lo, hi = int(bounds[k]), int(bounds[k + 1])
+            window = slice(lo, hi)
+            tx_sender_parts += [members[window], holders[window]]
+            tx_packet_parts += [members[window], members[window]]
+            tx_coupler_parts += [
+                member_ig[window] * g + member_group[window],
+                member_destg[window] * g + member_ig[window],
+            ]
+            del_receiver_parts += [holders[window], dest[members[window]]]
+            del_packet_parts += [members[window], members[window]]
+            slot_counts += [hi - lo, hi - lo]
+
+        return assemble_compiled_plan(
+            network,
+            packets,
+            tx_sender=np.concatenate(tx_sender_parts),
+            tx_packet=np.concatenate(tx_packet_parts),
+            tx_coupler=np.concatenate(tx_coupler_parts),
+            tx_counts=slot_counts,
+            del_receiver=np.concatenate(del_receiver_parts),
+            del_packet=np.concatenate(del_packet_parts),
+            del_counts=slot_counts,
+            initial_loc=src,
+            pk_destination=dest,
+        )
 
     # -- case d == 1 --------------------------------------------------------------------
 

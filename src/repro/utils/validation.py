@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Any
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError, ValidationError
 
 __all__ = [
@@ -19,6 +21,7 @@ __all__ = [
     "check_in_range",
     "check_divides",
     "check_permutation",
+    "check_permutation_array",
     "check_probability",
     "check_type",
 ]
@@ -100,6 +103,39 @@ def check_permutation(pi: Sequence[int], n: int | None = None) -> list[int]:
         if seen[image]:
             raise ValidationError(f"permutation repeats the image {image}")
         seen[image] = True
+    return values
+
+
+def check_permutation_array(pi: Sequence[int], n: int | None = None) -> np.ndarray:
+    """Vectorized :func:`check_permutation` returning an ``int64`` array.
+
+    Same contract and messages, with the per-entry Python loop replaced by
+    whole-array range and ``bincount`` checks — the validation path of the
+    array-native router front end.
+    """
+    try:
+        values = np.asarray(pi, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError) as error:
+        raise ValidationError(f"permutation is not integer-valued: {error}") from None
+    if values.ndim != 1:
+        raise ValidationError(
+            f"permutation must be one-dimensional, got shape {values.shape}"
+        )
+    if n is not None and values.size != n:
+        raise ValidationError(
+            f"permutation has length {values.size}, expected {n}"
+        )
+    size = values.size
+    out_of_range = (values < 0) | (values >= size)
+    if out_of_range.any():
+        image = int(values[np.flatnonzero(out_of_range)[0]])
+        raise ValidationError(
+            f"permutation entry {image} out of range [0, {size})"
+        )
+    counts = np.bincount(values, minlength=size)
+    repeated = np.flatnonzero(counts > 1)
+    if repeated.size:
+        raise ValidationError(f"permutation repeats the image {int(repeated[0])}")
     return values
 
 
