@@ -33,6 +33,7 @@ from repro.algorithms.prefix_sum import hypercube_prefix_sum
 from repro.algorithms.reduction import hypercube_allreduce
 from repro.analysis.reporting import format_experiment_report
 from repro.api import EXPERIMENTS
+from repro.api.session import derive_trial_seeds
 from repro.patterns.families import (
     all_hypercube_exchanges,
     bit_reversal_permutation,
@@ -130,21 +131,6 @@ class ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def _trial_seeds(config_seed: int, trials: int) -> list[int]:
-    """Deterministic per-trial seeds for one (d, g) configuration.
-
-    Every trial gets its own seed derived from the configuration seed, so a
-    contiguous shard of trials can run in any worker process and still sample
-    exactly the permutations the unsharded run would: sharded and unsharded
-    sweeps are bit-for-bit identical given the same top-level seed.  (This is
-    the one seed lineage of the API — re-exported as
-    :func:`repro.api.session.derive_trial_seeds`.)
-    """
-    from repro.api.session import derive_trial_seeds
-
-    return derive_trial_seeds(config_seed, trials)
-
-
 def _theorem2_shard(
     task: tuple[int, int, tuple[int, ...], dict[str, Any]],
     session: Session | None = None,
@@ -156,9 +142,15 @@ def _theorem2_shard(
     one from the task's config fields — router backend, engine, cache policy
     *and* cache bounds all survive the hop, so a worker's cache respects the
     configured byte budget; in-process callers pass their own session so the
-    session-owned cache is honoured directly.  Returns the sorted slot counts
-    seen, the AND of the per-trial bound checks, and the shard's
-    schedule-cache hit/miss deltas.
+    session-owned cache is honoured directly.
+
+    The shard's permutations are drawn per trial seed exactly as the
+    historical per-trial loop did, then routed as *one* ``(B, n)`` megabatch
+    through :meth:`~repro.api.session.Session.route_batch`; the per-trial
+    metrics are bit-identical, so merged sweep reports are unchanged (only
+    cache-counter granularity differs on the batched engine: one batch-level
+    entry per shard).  Returns the sorted slot counts seen, the AND of the
+    per-trial bound checks, and the shard's schedule-cache hit/miss deltas.
     """
     d, g, trial_seeds, config_fields = task
     if session is None:
@@ -169,16 +161,19 @@ def _theorem2_shard(
     network = POPSNetwork(d, g)
     cache = session.cache
     hits0, misses0 = cache.hits, cache.misses
-    slots_seen: set[int] = set()
-    verified = True
-    for trial_seed in trial_seeds:
-        pi = random_permutation(network.n, resolve_rng(trial_seed))
-        metrics = session.route(pi, network=network)
-        slots_seen.add(metrics.slots)
-        verified = verified and metrics.meets_theorem2_bound
+    pis = np.stack(
+        [
+            np.asarray(
+                random_permutation(network.n, resolve_rng(trial_seed)),
+                dtype=np.int64,
+            )
+            for trial_seed in trial_seeds
+        ]
+    )
+    trial_metrics = session.route_batch(pis, network=network)
     return (
-        sorted(slots_seen),
-        verified,
+        sorted({metrics.slots for metrics in trial_metrics}),
+        all(metrics.meets_theorem2_bound for metrics in trial_metrics),
         cache.hits - hits0,
         cache.misses - misses0,
     )
@@ -234,7 +229,7 @@ def _theorem2_sweep(
     shard_session, config_fields = _shard_context(session, sim_backend)
     rows: list[list[Any]] = []
     for d, g in configs:
-        trial_seeds = tuple(_trial_seeds(rng.randrange(2**31), trials))
+        trial_seeds = tuple(derive_trial_seeds(rng.randrange(2**31), trials).tolist())
         slots_seen, verified, _, _ = _theorem2_shard(
             (d, g, trial_seeds, config_fields), session=shard_session
         )
@@ -287,7 +282,7 @@ def _parallel_sweep(
         # Per-trial seeds are derived once per configuration and sliced into
         # shards, so sharding adds no redundant seed derivation and any shard
         # can run in any worker with bit-identical results.
-        trial_seeds = _trial_seeds(config_seeds[ci], trials)
+        trial_seeds = derive_trial_seeds(config_seeds[ci], trials).tolist()
         for lo in range(0, trials, shard):
             chunk = tuple(trial_seeds[lo:lo + shard])
             tasks.append((d, g, chunk, config_fields))
@@ -743,7 +738,7 @@ def _collectives_experiment(
     root_seed = session.config.seed if seed is None else seed
     # One derived seed per random section: data for (4, 8), data for (8, 4),
     # and the Cannon operand matrices.
-    section_seeds = _trial_seeds(root_seed, 3)
+    section_seeds = derive_trial_seeds(root_seed, 3).tolist()
     rows: list[list[Any]] = []
 
     # Broadcast: 1 slot on any network.
@@ -858,7 +853,7 @@ def _collective_scale_experiment(
     root_seed = session.config.seed if seed is None else seed
     # One derived seed per random section: the all-reduce data of each
     # network shape and the all-to-all/scatter/gather operand tables.
-    section_seeds = _trial_seeds(root_seed, 3)
+    section_seeds = derive_trial_seeds(root_seed, 3).tolist()
     rows: list[list[Any]] = []
 
     # One-slot broadcasts, growing n: the collective engine's home turf.

@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections.abc import Hashable, Sequence
 from typing import TYPE_CHECKING, Any
 
+import numpy as np
+
 from repro.api.config import RunConfig
 from repro.api.registry import EXPERIMENTS, ensure_experiments
 from repro.exceptions import ConfigurationError
@@ -41,16 +43,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = ["Session", "derive_trial_seeds"]
 
 
-def derive_trial_seeds(seed: int, trials: int) -> list[int]:
+def derive_trial_seeds(seed: int, trials: int) -> np.ndarray:
     """Deterministic per-trial seeds derived from one root seed.
 
     This is the single seed lineage of the whole API: sharded sweeps slice
-    this list into worker tasks, and experiments derive their per-section
-    seeds the same way, so any unit of work can run in any process and still
-    sample exactly what the serial run would.
+    this array into whole-batch worker tasks, and experiments derive their
+    per-section seeds the same way, so any unit of work can run in any
+    process and still sample exactly what the serial run would.  Returns a
+    ``(trials,)`` int64 array; the drawn values are unchanged from the
+    historical list form (``.tolist()`` recovers it exactly — note the
+    entries of the *array* are ``np.int64`` and must be converted back to
+    Python ints before re-seeding :func:`repro.utils.rng.resolve_rng`).
     """
     rng = resolve_rng(seed)
-    return [rng.randrange(2**31) for _ in range(trials)]
+    return np.fromiter(
+        (rng.randrange(2**31) for _ in range(trials)),
+        dtype=np.int64,
+        count=trials,
+    )
 
 
 class Session:
@@ -102,7 +112,7 @@ class Session:
         """A simulator for ``network`` using the configured engine."""
         return POPSSimulator(network, backend=self.sim_backend(default_backend))
 
-    def trial_seeds(self, trials: int, seed: int | None = None) -> list[int]:
+    def trial_seeds(self, trials: int, seed: int | None = None) -> np.ndarray:
         """Per-trial seeds from the session lineage (root: ``config.seed``)."""
         root = self.config.seed if seed is None else seed
         return derive_trial_seeds(root, trials)
@@ -140,6 +150,43 @@ class Session:
         return _measure_routing(
             network,
             pi,
+            router_backend=self.config.router_backend,
+            verify=verify,
+            sim_backend=self.sim_backend("reference"),
+            use_cache=self.config.cache_policy == "on",
+            cache=self.cache,
+        )
+
+    def route_batch(
+        self,
+        pis,
+        *,
+        network: POPSNetwork | None = None,
+        d: int | None = None,
+        g: int | None = None,
+        verify: bool = True,
+    ) -> list[RoutingMetrics]:
+        """Route a ``(B, n)`` permutation stack on the megabatch pipeline.
+
+        The batched twin of :meth:`route`: on the batched/auto engines the
+        whole stack is routed, executed, verified and summarised in one
+        batched pass, and entry ``b`` of the returned list is bit-identical
+        to ``route(pis[b])``.  Other engines measure element by element, so
+        the method is safe under any configured backend.  Configuration
+        (router backend, engine, cache policy) comes from the session; on the
+        batched path the cache holds one batch-level entry per stack.
+        """
+        from repro.analysis.metrics import _measure_routing_batch
+
+        if network is None:
+            if d is None or g is None:
+                raise ConfigurationError(
+                    "route_batch() needs either network= or both d= and g="
+                )
+            network = POPSNetwork(d, g)
+        return _measure_routing_batch(
+            network,
+            pis,
             router_backend=self.config.router_backend,
             verify=verify,
             sim_backend=self.sim_backend("reference"),

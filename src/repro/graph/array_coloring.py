@@ -50,16 +50,21 @@ from repro.graph.array_multigraph import ArrayMultigraph
 from repro.graph.edge_coloring import COLORING_BACKENDS, EdgeColoring
 from repro.graph.matching import hopcroft_karp_csr
 from repro.graph.multigraph import BipartiteMultigraph
+from repro.utils.arrayops import shrink_sort_key
 
 __all__ = [
     "ARRAY_COLORING_KERNELS",
+    "ARRAY_COLORING_STACK_KERNELS",
     "euler_split_instances",
     "konig_array_colors",
     "euler_array_colors",
+    "konig_array_colors_stack",
+    "euler_array_colors_stack",
     "konig_array_edge_coloring",
     "euler_array_edge_coloring",
     "coloring_from_instances",
     "verify_instance_coloring",
+    "verify_instance_coloring_stack",
 ]
 
 
@@ -79,26 +84,111 @@ def _pairing_from_order(order: np.ndarray) -> np.ndarray:
     return partner
 
 
-def _alternate_mask(partner_left: np.ndarray, partner_right: np.ndarray) -> np.ndarray:
+def _alternate_mask(
+    partner_left: np.ndarray,
+    partner_right: np.ndarray,
+    orbit_bound: int | None = None,
+) -> np.ndarray:
     """Proper 2-colouring of the union of two instance pairings.
 
     The union decomposes the instances into even cycles alternating left and
     right pairings; orbits of the two-step map ``partner_right ∘
     partner_left`` are the alternate instances of a cycle, found by pointer
     doubling (orbit minima), no Python loop over edges.
+
+    ``orbit_bound`` caps the doubling window when the caller knows no cycle
+    is longer (e.g. cycles confined to one row of a flattened stack); the
+    dropped iterations are idempotent, so the mask is unchanged.
     """
     m = partner_left.size
+    limit = m if orbit_bound is None else min(orbit_bound, m)
     step = partner_right[partner_left]
-    representative = np.minimum(np.arange(m, dtype=np.int64), step)
-    jump = step[step]
-    window = 2
-    while window < m:
-        representative = np.minimum(representative, representative[jump])
-        jump = jump[jump]
-        window *= 2
+    representative = _orbit_minima(step, limit)
     # An instance and its left partner sit in complementary orbits of the
     # same cycle; the orbit holding the cycle's smallest instance goes first.
     return representative > representative[partner_left]
+
+
+def _iota(m: int, dtype) -> np.ndarray:
+    """Cached read-only ``arange(m, dtype=dtype)`` for the doubling kernels.
+
+    The stack kernels call :func:`_orbit_minima` once per split level with
+    one flat union size per problem shape, so a tiny keyed cache removes the
+    repeated arange allocation.  The array is marked read-only; callers only
+    feed it to allocating ufuncs.
+    """
+    key = (m, np.dtype(dtype).str)
+    iota = _IOTA_CACHE.get(key)
+    if iota is None:
+        if len(_IOTA_CACHE) >= 16:
+            _IOTA_CACHE.clear()
+        iota = np.arange(m, dtype=dtype)
+        iota.setflags(write=False)
+        _IOTA_CACHE[key] = iota
+    return iota
+
+
+_IOTA_CACHE: dict[tuple[int, str], np.ndarray] = {}
+
+
+def _orbit_minima(step: np.ndarray, limit: int) -> np.ndarray:
+    """Minimum instance index over each orbit of the permutation ``step``.
+
+    Pointer doubling; ``limit`` bounds the orbit sizes (extra iterations are
+    idempotent, so any upper bound yields the exact minima).
+    """
+    m = step.size
+    if 1 << 13 <= m <= 1 << 16:
+        # Pack (jump, representative) into one uint32 word so each doubling
+        # iteration costs a single gather instead of two; both fields are
+        # instance indices < 2**16, so the packed arithmetic is exact and the
+        # orbit minima are unchanged.  Below ~8k instances the extra
+        # elementwise passes cost more than the saved gather, so small
+        # problems keep the plain two-gather loop.
+        low = np.uint32(0xFFFF)
+        if step.dtype != np.uint32:
+            step = step.astype(np.uint32)
+        representative = np.minimum(_iota(m, np.uint32), step)
+        # Gather indices stay int64: numpy re-casts non-native index arrays
+        # on every fancy index, so a single explicit conversion per
+        # iteration is cheaper than indexing with uint32 directly.
+        fetched = step[step]
+        packed = (fetched << np.uint32(16)) | representative
+        jump = fetched.astype(np.int64)
+        window = 2
+        while window < limit:
+            fetched = packed[jump]
+            representative = np.minimum(representative, fetched & low)
+            window *= 2
+            if window < limit:
+                packed = (fetched & ~low) | representative
+                jump = (fetched >> np.uint32(16)).astype(np.int64)
+    elif m > 1 << 16:
+        # Same packing in int64 (jump << 32 | rep): the shifted fetch is
+        # already a valid index, so each iteration is one gather plus
+        # elementwise word surgery.
+        low = np.int64(0xFFFFFFFF)
+        representative = np.minimum(_iota(m, np.int64), step)
+        jump = step[step]
+        packed = (jump << np.int64(32)) | representative
+        window = 2
+        while window < limit:
+            fetched = packed[jump]
+            representative = np.minimum(representative, fetched & low)
+            window *= 2
+            if window < limit:
+                packed = (fetched & ~low) | representative
+                jump = fetched >> np.int64(32)
+    else:
+        representative = np.minimum(_iota(m, np.int64), step)
+        jump = step[step]
+        window = 2
+        while window < limit:
+            representative = np.minimum(representative, representative[jump])
+            window *= 2
+            if window < limit:
+                jump = jump[jump]
+    return representative
 
 
 def euler_split_instances(left: np.ndarray, right: np.ndarray) -> np.ndarray:
@@ -229,38 +319,181 @@ def euler_array_colors(graph: ArrayMultigraph) -> np.ndarray:
     split order, not ascending order — consumers that need ascending colours
     per edge sort afterwards (``np.lexsort``), as the fair-distribution
     readback does.
+
+    B=1 front of :func:`euler_array_colors_stack`; the stacked kernel is
+    bit-identical per batch row, so a single graph routes through the same
+    code the megabatch pipeline runs.
     """
     _check_equal_sides(graph)
     degree = graph.regular_degree()
-    m = graph.n_edges
-    colors = np.empty(m, dtype=np.int64)
+    if graph.n_edges == 0:
+        return np.empty(0, dtype=np.int64)
+    left, right = graph.instances()
+    return euler_array_colors_stack(
+        left[None, :], right[None, :], graph.n_left, graph.n_right, degree
+    )[0]
+
+
+def _alternate_mask_stack(order: np.ndarray, m: int) -> np.ndarray:
+    """Row-wise :func:`_alternate_mask` against the consecutive left pairing.
+
+    ``order`` is a ``(rows, seg_len)`` stack of per-segment right-pairing
+    orderings covering segments of ``m`` instances; the left pairing is
+    ``i ^ 1`` in every segment — globally too, since segment offsets are
+    even.  The flat disjoint union keeps cycles confined to their segment,
+    orbit minima are offset-invariant within a segment, and the extra
+    pointer-doubling iterations of the larger union are idempotent, so each
+    output row is bit-identical to a standalone call on that row.
+
+    The two-step walk ``step(i) = partner_right[i ^ 1]`` is scattered
+    directly (no intermediate pairing array): consecutive order entries are
+    right partners, so ``step[a ^ 1] = b`` and ``step[b ^ 1] = a`` for each
+    ordered pair ``(a, b)``.  Likewise the mask needs no swapped gather:
+    ``i`` and ``i ^ 1`` sit in complementary orbits of the same cycle with
+    distinct minima, so the odd mask is the negated even mask.
+    """
+    rows, seg_len = order.shape
+    size = rows * seg_len
+    flat = (order + (np.arange(rows, dtype=np.int64) * seg_len)[:, None]).ravel()
+    first = flat[0::2]
+    second = flat[1::2]
+    # 16-bit-indexable unions feed the packed pointer-doubling tier directly.
+    step_dtype = np.uint32 if size <= 1 << 16 else np.int64
+    step = np.empty(size, dtype=step_dtype)
+    step[first ^ 1] = second
+    step[second ^ 1] = first
+    # Cycles are confined to a segment, so they have at most m instances and
+    # the two-step orbits at most m // 2 — far below the flattened union.
+    representative = _orbit_minima(step, min(max(2, m // 2), size))
+    even = representative[0::2] > representative[1::2]
+    mask = np.empty(size, dtype=bool)
+    mask[0::2] = even
+    mask[1::2] = ~even
+    return mask
+
+
+def euler_array_colors_stack(
+    left: np.ndarray,
+    right: np.ndarray,
+    n_left: int,
+    n_right: int,
+    degree: int | None = None,
+) -> np.ndarray:
+    """Batched :func:`euler_array_colors` over ``(B, m)`` instance stacks.
+
+    ``left`` / ``right`` hold the *canonical* (left-sorted) instance arrays
+    of ``B`` regular bipartite multigraphs sharing the vertex sets and the
+    regular degree.  Returns a ``(B, m)`` colour stack; row ``b`` is
+    bit-identical to ``euler_array_colors`` on row ``b`` alone.
+
+    The even-degree split is fully batched: the structural left pairing is
+    shared, the right pairing is a row-wise stable argsort, and one
+    pointer-doubling pass over the flattened disjoint union 2-colours every
+    row's cycles at once.  Exactly half of each row survives either side of
+    a split (vertex degrees halve row-wise), so boolean-mask selection
+    reshapes back to a dense stack.  Odd degrees peel a perfect matching
+    per row (matching is the one stage that does not batch).
+    """
+    left = np.asarray(left)
+    right = np.asarray(right)
+    batch, m = left.shape
+    colors = np.empty((batch, m), dtype=np.int64)
     if m == 0:
         return colors
-    left, right = graph.instances()
-    stack = [(left, right, np.arange(m, dtype=np.int64), degree, 0)]
-    while stack:
-        lefts, rights, index, deg, base = stack.pop()
-        if deg == 1:
-            colors[index] = base
-            continue
+    if degree is None:
+        degree = m // n_left
+    # Right endpoints are < n_right and original positions are < m; 16-bit
+    # working copies turn every row-wise stable argsort below into a radix
+    # sort (an order-of-magnitude faster) and quarter masked-copy traffic.
+    # Stable argsort yields the same ordering for any dtype holding the same
+    # values and positions are only ever scattered through, so colours are
+    # unchanged bit for bit.
+    int16_max = np.iinfo(np.int16).max
+    if n_right <= np.iinfo(np.uint8).max:
+        right = right.astype(np.uint8, copy=False)
+    elif n_right <= int16_max:
+        right = right.astype(np.int16, copy=False)
+    else:
+        right = right.astype(np.int64, copy=False)
+    index_dtype = np.int16 if m <= int16_max else np.int64
+    index = np.broadcast_to(np.arange(m, dtype=index_dtype), (batch, m))
+    # The split tree is processed level-synchronously: all 2^k subproblems of
+    # depth k share one degree and one segment length, so each level is a
+    # single batched pass over a ``(batch * n_seg, seg_len)`` view — the flat
+    # union keeps its full ``batch * m`` size at every depth (one argsort,
+    # one pointer-doubling pass, one reorder per level instead of one per
+    # node).  Masks and peels are computed per segment exactly as the
+    # node-at-a-time recursion would, so the colours are unchanged bit for
+    # bit; only the call count drops.
+    n_seg, seg_len, deg = 1, m, degree
+    bases = np.zeros(1, dtype=np.int64)
+    while deg > 1:
+        view_r = right.reshape(batch * n_seg, seg_len)
+        view_i = index.reshape(batch * n_seg, seg_len)
         if deg % 2:
-            keep, removed = _peel_perfect_matching(
-                lefts, rights, graph.n_left, graph.n_right
-            )
-            colors[index[removed]] = base
-            stack.append((lefts[keep], rights[keep], index[keep], deg - 1, base + 1))
+            # Segments stay sorted by left endpoint through every reorder and
+            # every vertex keeps exactly ``deg`` instances, so the left array
+            # is the shared canonical expansion — no need to carry it.
+            # Matching is the one stage that does not batch.
+            lefts_row = np.repeat(np.arange(n_left, dtype=np.int64), deg)
+            keep = np.ones((batch * n_seg, seg_len), dtype=bool)
+            for r in range(batch * n_seg):
+                keep_r, removed_r = _peel_perfect_matching(
+                    lefts_row, view_r[r], n_left, n_right
+                )
+                keep[r] = keep_r
+                colors[r // n_seg, view_i[r, removed_r]] = bases[r % n_seg]
+            seg_len -= n_left
+            right = view_r[keep].reshape(batch, n_seg * seg_len)
+            index = view_i[keep].reshape(batch, n_seg * seg_len)
+            bases = bases + 1
+            deg -= 1
             continue
-        # Instances stay sorted by left endpoint through every mask/peel (the
-        # canonical expansion is sorted and subsetting preserves order), so
-        # the left pairing is just consecutive indices; degrees are even by
-        # construction, no re-validation needed.
-        partner_left = np.arange(lefts.size, dtype=np.int64) ^ 1
-        partner_right = _pairing_from_order(np.argsort(rights, kind="stable"))
-        second = _alternate_mask(partner_left, partner_right)
+        # Sorted-by-left segments make the left pairing consecutive indices —
+        # handled implicitly by the consecutive-pairing mask kernel.
+        second = _alternate_mask_stack(
+            np.argsort(view_r, axis=1, kind="stable"), seg_len
+        ).reshape(batch * n_seg, seg_len)
+        # Stable argsort of the half mask lists each segment's first half
+        # (in order) then its second half (in order): exactly the two child
+        # segments, laid out contiguously.  Folding the row offsets in once
+        # lets both planes reuse a single flat gather index.
+        pos = np.argsort(second, axis=1, kind="stable")
+        pos += (np.arange(batch * n_seg, dtype=np.int64) * seg_len)[:, None]
+        flat_pos = pos.ravel()
+        right = right.ravel()[flat_pos].reshape(batch, -1)
+        index = index.ravel()[flat_pos].reshape(batch, -1)
         half = deg // 2
-        first = ~second
-        stack.append((lefts[first], rights[first], index[first], half, base))
-        stack.append((lefts[second], rights[second], index[second], half, base + half))
+        bases = np.stack([bases, bases + half], axis=1).ravel()
+        n_seg *= 2
+        seg_len //= 2
+        deg = half
+    # Every surviving segment is one colour class.
+    np.put_along_axis(colors, index, np.repeat(bases, seg_len)[None, :], axis=1)
+    return colors
+
+
+def konig_array_colors_stack(
+    left: np.ndarray,
+    right: np.ndarray,
+    n_left: int,
+    n_right: int,
+    degree: int | None = None,
+) -> np.ndarray:
+    """Batched König kernel: a vectorized-per-row loop over the stack.
+
+    König's round structure is matching-bound, so the batch axis cannot be
+    folded into the pointer-doubling trick; each row runs the (already
+    array-native) single-graph kernel.  Shares the stack-kernel signature so
+    the megabatch pipeline dispatches both backends uniformly.
+    """
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    batch, m = left.shape
+    colors = np.empty((batch, m), dtype=np.int64)
+    for b in range(batch):
+        graph = ArrayMultigraph.from_instances(n_left, n_right, left[b], right[b])
+        colors[b] = konig_array_colors(graph)
     return colors
 
 
@@ -268,6 +501,12 @@ def euler_array_colors(graph: ArrayMultigraph) -> np.ndarray:
 ARRAY_COLORING_KERNELS = {
     "konig-array": konig_array_colors,
     "euler-array": euler_array_colors,
+}
+
+#: Batched twins over ``(B, m)`` canonical instance stacks, same keys.
+ARRAY_COLORING_STACK_KERNELS = {
+    "konig-array": konig_array_colors_stack,
+    "euler-array": euler_array_colors_stack,
 }
 
 
@@ -297,6 +536,38 @@ def verify_instance_coloring(graph: ArrayMultigraph, colors: np.ndarray) -> None
         duplicate = np.flatnonzero(key[1:] == key[:-1])
         if duplicate.size:
             clash = int(key[duplicate[0]])
+            raise EdgeColoringError(
+                f"colour {clash // n_vertices} uses {side} vertex "
+                f"{clash % n_vertices} more than once"
+            )
+
+
+def verify_instance_coloring_stack(
+    left: np.ndarray,
+    right: np.ndarray,
+    n_left: int,
+    n_right: int,
+    colors: np.ndarray,
+) -> None:
+    """Row-wise :func:`verify_instance_coloring` over ``(B, m)`` stacks.
+
+    Raises with the single-graph message for the row-major first violation.
+    """
+    if colors.shape != left.shape:
+        raise EdgeColoringError(
+            f"colouring annotates {colors.size} instances, graph has {left.size}"
+        )
+    for side, vertices, n_vertices in (
+        ("left", left, n_left),
+        ("right", right, n_right),
+    ):
+        flat = colors * np.int64(n_vertices) + vertices
+        bound = int(flat.max()) if flat.size else -1
+        key = np.sort(shrink_sort_key(flat, bound), axis=1)
+        duplicate = key[:, 1:] == key[:, :-1]
+        if duplicate.any():
+            b, i = np.unravel_index(int(np.argmax(duplicate)), duplicate.shape)
+            clash = int(key[b, i])
             raise EdgeColoringError(
                 f"colour {clash // n_vertices} uses {side} vertex "
                 f"{clash % n_vertices} more than once"

@@ -54,10 +54,11 @@ from repro.pops.lowering import group_firsts, lower_schedule
 from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule
 from repro.pops.topology import Coupler, POPSNetwork
-from repro.pops.trace import CompiledTrace, SimulationTrace
+from repro.pops.trace import CompiledTrace, CompiledTraceBatch, SimulationTrace
 
 __all__ = [
     "CompiledSchedule",
+    "CompiledScheduleBatch",
     "BatchedSimulator",
     "ScheduleCache",
     "compile_schedule",
@@ -138,8 +139,105 @@ class CompiledSchedule:
         )
 
 
+@dataclass
+class CompiledScheduleBatch:
+    """``B`` compiled schedules sharing one CSR slot structure.
+
+    The megabatch layout: for a fixed POPS(d, g) every Theorem 2 plan has the
+    *same* slot segmentation — identical ``*_ptr`` arrays, identical slot
+    count — so a batch of plans is stored as shared structure arrays plus
+    ``(B, ·)`` per-batch planes.  Planes may be broadcast views when a plan
+    array is genuinely shared across the batch (e.g. ``initial_loc`` for
+    permutation routing, where packet ``i`` always starts at processor ``i``).
+
+    The packet universe is implicit — permutation-routing packets: universe
+    entry ``i`` of element ``b`` is ``Packet(i, pk_destination[b, i])`` — so
+    no per-element Python objects exist until :meth:`element` materializes
+    one :class:`CompiledSchedule`.
+
+    Attributes mirror :class:`CompiledSchedule`, with ``tx_sender``,
+    ``tx_packet``, ``pay_coupler``, ``pay_packet``, ``del_receiver``,
+    ``del_packet``, ``con_packet``, ``initial_loc`` and ``pk_destination``
+    grown a leading batch axis and the ``*_ptr`` / idle arrays shared.
+    """
+
+    network: POPSNetwork
+    n_batch: int
+    n_slots: int
+    tx_sender: np.ndarray
+    tx_packet: np.ndarray
+    tx_ptr: np.ndarray
+    pay_coupler: np.ndarray
+    pay_packet: np.ndarray
+    pay_ptr: np.ndarray
+    del_receiver: np.ndarray
+    del_packet: np.ndarray
+    del_ptr: np.ndarray
+    con_packet: np.ndarray
+    con_ptr: np.ndarray
+    idle_receiver: np.ndarray
+    idle_coupler: np.ndarray
+    initial_loc: np.ndarray
+    pk_destination: np.ndarray
+
+    @property
+    def u_size(self) -> int:
+        """Size of each element's packet universe."""
+        return int(self.pk_destination.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the batch arrays.
+
+        Broadcast planes report their expanded size, over-counting the
+        actual allocation — acceptable for cache accounting, which only
+        needs an upper bound.
+        """
+        return sum(
+            getattr(self, name).nbytes
+            for name in (
+                "tx_sender", "tx_packet", "tx_ptr",
+                "pay_coupler", "pay_packet", "pay_ptr",
+                "del_receiver", "del_packet", "del_ptr",
+                "con_packet", "con_ptr",
+                "idle_receiver", "idle_coupler",
+                "initial_loc", "pk_destination",
+            )
+        )
+
+    def element(self, b: int) -> CompiledSchedule:
+        """Materialize element ``b`` as a standalone :class:`CompiledSchedule`.
+
+        Plane rows are views (zero-copy); structure arrays are shared.  The
+        result is bit-identical to compiling element ``b``'s plan alone.
+        """
+        destinations = self.pk_destination[b]
+        packets = list(map(Packet, range(destinations.size), destinations.tolist()))
+        return CompiledSchedule(
+            network=self.network,
+            packets=packets,
+            n_slots=self.n_slots,
+            tx_sender=self.tx_sender[b],
+            tx_packet=self.tx_packet[b],
+            tx_ptr=self.tx_ptr,
+            pay_coupler=self.pay_coupler[b],
+            pay_packet=self.pay_packet[b],
+            pay_ptr=self.pay_ptr,
+            del_receiver=self.del_receiver[b],
+            del_packet=self.del_packet[b],
+            del_ptr=self.del_ptr,
+            con_packet=self.con_packet[b],
+            con_ptr=self.con_ptr,
+            idle_receiver=self.idle_receiver,
+            idle_coupler=self.idle_coupler,
+            initial_loc=self.initial_loc[b],
+            pk_destination=destinations,
+        )
+
+
 class ScheduleCache:
-    """Cache of :class:`CompiledSchedule` objects keyed by caller-chosen keys.
+    """Cache of :class:`CompiledSchedule` / :class:`CompiledScheduleBatch`
+    objects keyed by caller-chosen keys.
 
     Lowering a schedule is the dominant fixed cost of the batched engine, and
     sweeps recompile identical schedules on every iteration: the same
@@ -165,7 +263,7 @@ class ScheduleCache:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
-        self._entries: dict[Hashable, CompiledSchedule] = {}
+        self._entries: dict[Hashable, CompiledSchedule | CompiledScheduleBatch] = {}
         self._total_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -178,7 +276,7 @@ class ScheduleCache:
         """Approximate bytes of compiled arrays currently cached."""
         return self._total_bytes
 
-    def get(self, key: Hashable) -> CompiledSchedule | None:
+    def get(self, key: Hashable) -> CompiledSchedule | CompiledScheduleBatch | None:
         """Look up ``key``, counting the access as a hit or a miss."""
         compiled = self._entries.get(key)
         if compiled is None:
@@ -187,7 +285,7 @@ class ScheduleCache:
             self.hits += 1
         return compiled
 
-    def peek(self, key: Hashable) -> CompiledSchedule | None:
+    def peek(self, key: Hashable) -> CompiledSchedule | CompiledScheduleBatch | None:
         """Look up ``key`` without touching the hit/miss counters.
 
         For dispatchers that only need to know *whether* a compiled entry
@@ -197,7 +295,7 @@ class ScheduleCache:
         """
         return self._entries.get(key)
 
-    def put(self, key: Hashable, compiled: CompiledSchedule) -> None:
+    def put(self, key: Hashable, compiled: CompiledSchedule | CompiledScheduleBatch) -> None:
         """Store ``compiled`` under ``key``, FIFO-evicting until within bounds.
 
         A schedule larger than ``max_bytes`` on its own is not cached at all.
@@ -415,6 +513,98 @@ class BatchedSimulator:
                 f"{packet!r} should end at processor {packet.destination}, "
                 f"found at {where}"
             )
+
+    def execute_batch(self, batch: CompiledScheduleBatch) -> np.ndarray:
+        """Run a compiled batch; returns the final ``(B, U)`` location stack.
+
+        One slot is still three numpy operations — ownership comparison,
+        consume scatter, delivery scatter — just broadcast over the batch
+        axis via ``take_along_axis`` / ``put_along_axis``.  Row ``b`` of the
+        result equals ``execute(batch.element(b))``.
+
+        On a dynamic failure the offending elements are replayed one by one
+        through :meth:`execute` so the error raised is exactly the error the
+        lowest failing element would raise alone.
+        """
+        loc = np.array(batch.initial_loc)
+        tx_ptr, del_ptr, con_ptr = batch.tx_ptr, batch.del_ptr, batch.con_ptr
+        strict = self.strict_receptions
+        for s in range(batch.n_slots):
+            senders = batch.tx_sender[:, tx_ptr[s]:tx_ptr[s + 1]]
+            sent = batch.tx_packet[:, tx_ptr[s]:tx_ptr[s + 1]]
+            held = np.take_along_axis(loc, sent, axis=1) == senders
+            if not held.all():
+                self._replay_batch_failure(batch)
+            if strict and batch.idle_receiver[s] >= 0:
+                cid = int(batch.idle_coupler[s])
+                coupler = Coupler(cid // self.network.g, cid % self.network.g)
+                raise SimulationError(
+                    f"slot {s}: processor {batch.idle_receiver[s]} reads "
+                    f"idle {coupler!r}"
+                )
+            np.put_along_axis(
+                loc, batch.con_packet[:, con_ptr[s]:con_ptr[s + 1]], -1, axis=1
+            )
+            np.put_along_axis(
+                loc,
+                batch.del_packet[:, del_ptr[s]:del_ptr[s + 1]],
+                batch.del_receiver[:, del_ptr[s]:del_ptr[s + 1]],
+                axis=1,
+            )
+        return loc
+
+    def _replay_batch_failure(self, batch: CompiledScheduleBatch) -> None:
+        """Reproduce a batch execution failure element by element.
+
+        Replays elements in batch order so the raised error is the exact
+        single-element error of the lowest failing element (when several
+        elements fail in different slots, batch order wins over slot order —
+        the one accepted divergence from the per-trial loop).
+        """
+        for b in range(batch.n_batch):
+            self.execute(batch.element(b))
+        raise SimulationError(
+            "internal error: batch execution failed but every element "
+            "executes cleanly alone; please report this divergence"
+        )
+
+    def verify_locations_batch(
+        self, batch: CompiledScheduleBatch, loc: np.ndarray
+    ) -> None:
+        """Batched :meth:`verify_locations` over a ``(B, U)`` location stack.
+
+        On failure the offending elements are replayed through the
+        single-element check, raising the exact per-trial
+        :class:`~repro.exceptions.DeliveryError` of the lowest failing one.
+        """
+        from repro.exceptions import DeliveryError
+
+        if bool((loc == batch.pk_destination).all()):
+            return
+        for b in range(batch.n_batch):
+            self.verify_locations(batch.element(b), loc[b])
+        raise DeliveryError(
+            "internal error: batch delivery check failed but every element "
+            "verifies cleanly alone; please report this divergence"
+        )
+
+    def compiled_trace_batch(self, batch: CompiledScheduleBatch) -> CompiledTraceBatch:
+        """The static trace of a compiled batch as zero-copy array views.
+
+        Statistics over the returned
+        :class:`~repro.pops.trace.CompiledTraceBatch` are per-element numpy
+        reductions; no per-element trace objects are materialized.
+        """
+        return CompiledTraceBatch(
+            g=self.network.g,
+            n_batch=batch.n_batch,
+            pay_coupler=batch.pay_coupler,
+            pay_packet=batch.pay_packet,
+            pay_ptr=batch.pay_ptr,
+            del_receiver=batch.del_receiver,
+            del_packet=batch.del_packet,
+            del_ptr=batch.del_ptr,
+        )
 
     def buffers_from_locations(
         self, compiled: CompiledSchedule, loc: np.ndarray

@@ -44,6 +44,7 @@ __all__ = [
     "classify_schedule",
     "group_firsts",
     "assemble_compiled_plan",
+    "assemble_compiled_plan_batch",
 ]
 
 
@@ -222,6 +223,79 @@ def assemble_compiled_plan(
         idle_coupler=no_idle.copy(),
         initial_loc=initial_loc,
         pk_destination=pk_destination,
+    )
+
+
+def _batch_plane(values: np.ndarray, n_batch: int, length: int) -> np.ndarray:
+    """Normalise a plan array to a ``(B, L)`` int64 plane.
+
+    Accepts a shared ``(L,)`` array (broadcast, zero-copy) or a per-batch
+    ``(B, L)`` plane; either way the engine reads it row-wise.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    return np.broadcast_to(values, (n_batch, length))
+
+
+def assemble_compiled_plan_batch(
+    network: POPSNetwork,
+    n_batch: int,
+    tx_sender: np.ndarray,
+    tx_packet: np.ndarray,
+    tx_coupler: np.ndarray,
+    tx_counts: list[int],
+    del_receiver: np.ndarray,
+    del_packet: np.ndarray,
+    del_counts: list[int],
+    initial_loc: np.ndarray,
+    pk_destination: np.ndarray,
+):
+    """Batched :func:`assemble_compiled_plan`: one
+    :class:`~repro.pops.engine.CompiledScheduleBatch` for ``B`` conflict-free
+    plans sharing their CSR slot structure.
+
+    The key invariant of Theorem 2 plans makes this exact, not approximate:
+    for fixed ``(d, g)`` the slot segmentation (``tx_counts`` /
+    ``del_counts`` and hence every ``*_ptr`` array) is identical across
+    permutations — only the per-slot *contents* differ.  Each plan array may
+    therefore be passed as a shared ``(L,)`` array (broadcast across the
+    batch) or a per-batch ``(B, L)`` plane; ``element(b)`` of the result is
+    bit-identical to :func:`assemble_compiled_plan` on row ``b``.
+    """
+    from repro.pops.engine import CompiledScheduleBatch
+
+    n_slots = len(tx_counts)
+    tx_ptr = np.concatenate(
+        ([0], np.cumsum(np.asarray(tx_counts, dtype=np.int64)))
+    )
+    del_ptr = np.concatenate(
+        ([0], np.cumsum(np.asarray(del_counts, dtype=np.int64)))
+    )
+    no_idle = np.full(n_slots, -1, dtype=np.int64)
+    n_tx = int(tx_ptr[-1])
+    n_del = int(del_ptr[-1])
+    universe = int(np.asarray(pk_destination).shape[-1])
+    tx_sender = _batch_plane(tx_sender, n_batch, n_tx)
+    tx_packet = _batch_plane(tx_packet, n_batch, n_tx)
+    tx_coupler = _batch_plane(tx_coupler, n_batch, n_tx)
+    return CompiledScheduleBatch(
+        network=network,
+        n_batch=n_batch,
+        n_slots=n_slots,
+        tx_sender=tx_sender,
+        tx_packet=tx_packet,
+        tx_ptr=tx_ptr,
+        pay_coupler=tx_coupler,
+        pay_packet=tx_packet,
+        pay_ptr=tx_ptr,
+        del_receiver=_batch_plane(del_receiver, n_batch, n_del),
+        del_packet=_batch_plane(del_packet, n_batch, n_del),
+        del_ptr=del_ptr,
+        con_packet=tx_packet,
+        con_ptr=tx_ptr,
+        idle_receiver=no_idle,
+        idle_coupler=no_idle.copy(),
+        initial_loc=_batch_plane(initial_loc, n_batch, universe),
+        pk_destination=_batch_plane(pk_destination, n_batch, universe),
     )
 
 

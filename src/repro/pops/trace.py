@@ -33,7 +33,7 @@ import numpy as np
 from repro.pops.packet import Packet
 from repro.pops.topology import Coupler
 
-__all__ = ["SlotTrace", "SimulationTrace", "CompiledTrace"]
+__all__ = ["SlotTrace", "SimulationTrace", "CompiledTrace", "CompiledTraceBatch"]
 
 
 @dataclass
@@ -299,3 +299,97 @@ class CompiledTrace:
             cached = self.materialize().slots
             self._materialized = cached
         return cached
+
+
+@dataclass(eq=False)
+class CompiledTraceBatch:
+    """Traces of ``B`` compiled schedules sharing one CSR slot structure.
+
+    The trace twin of :class:`~repro.pops.engine.CompiledScheduleBatch`: the
+    ``*_ptr`` arrays are shared, the payload/delivery arrays are ``(B, ·)``
+    planes (possibly broadcast views).  Aggregate statistics reduce over the
+    slot axis *per batch element* without materializing ``B`` trace objects;
+    structure-derived quantities (slot counts, per-slot movement counts,
+    utilisation) are shared scalars/lists, exactly as the per-trial loop
+    would compute them for every element.
+    """
+
+    g: int
+    n_batch: int
+    pay_coupler: np.ndarray
+    pay_packet: np.ndarray
+    pay_ptr: np.ndarray
+    del_receiver: np.ndarray
+    del_packet: np.ndarray
+    del_ptr: np.ndarray
+
+    __hash__ = None  # mutable container semantics, like SimulationTrace
+
+    # -- structure-shared statistics (identical for every element) -----------
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots executed (shared across the batch)."""
+        return int(self.pay_ptr.shape[0]) - 1
+
+    @property
+    def total_packets_moved(self) -> int:
+        """Per-element coupler-slot usages (shared across the batch)."""
+        return int(self.pay_coupler.shape[1])
+
+    @property
+    def total_packets_received(self) -> int:
+        """Per-element (processor, packet) receptions (shared)."""
+        return int(self.del_receiver.shape[1])
+
+    def packets_moved_per_slot(self) -> list[int]:
+        """Packets moved in each slot, identical for every element."""
+        return np.diff(self.pay_ptr).tolist()
+
+    def packets_received_per_slot(self) -> list[int]:
+        """Packets received in each slot, identical for every element."""
+        return np.diff(self.del_ptr).tolist()
+
+    def mean_coupler_utilisation(self, n_couplers: int) -> float:
+        """Average fraction of couplers busy per slot (shared)."""
+        if self.n_slots == 0 or n_couplers == 0:
+            return 0.0
+        return self.total_packets_moved / (self.n_slots * n_couplers)
+
+    # -- per-element reductions ----------------------------------------------
+
+    def coupler_usage_counts(self) -> np.ndarray:
+        """Per-coupler busy-slot counts as a ``(B, g * g)`` array."""
+        n_couplers = self.g * self.g
+        if self.pay_coupler.shape[1] == 0:
+            return np.zeros((self.n_batch, n_couplers), dtype=np.int64)
+        offsets = np.arange(self.n_batch, dtype=np.int64)[:, None] * n_couplers
+        return np.bincount(
+            (self.pay_coupler + offsets).ravel(),
+            minlength=self.n_batch * n_couplers,
+        ).reshape(self.n_batch, n_couplers)
+
+    def max_coupler_usage(self) -> np.ndarray:
+        """The busiest coupler's used-slot count per element, shape ``(B,)``."""
+        if self.pay_coupler.shape[1] == 0:
+            return np.zeros(self.n_batch, dtype=np.int64)
+        return self.coupler_usage_counts().max(axis=1)
+
+    # -- escape hatch to per-element traces ----------------------------------
+
+    def element(self, b: int, packets: list[Packet]) -> CompiledTrace:
+        """Materialize element ``b`` as a standalone :class:`CompiledTrace`.
+
+        ``packets`` is the element's packet universe (the batch stores no
+        per-element packet objects); array fields are zero-copy row views.
+        """
+        return CompiledTrace(
+            g=self.g,
+            packets=packets,
+            pay_coupler=self.pay_coupler[b],
+            pay_packet=self.pay_packet[b],
+            pay_ptr=self.pay_ptr,
+            del_receiver=self.del_receiver[b],
+            del_packet=self.del_packet[b],
+            del_ptr=self.del_ptr,
+        )

@@ -22,17 +22,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import EdgeColoringError, FairnessViolationError
+from repro.exceptions import EdgeColoringError, FairnessViolationError, GraphError
 from repro.graph.array_multigraph import ArrayMultigraph
 from repro.graph.edge_coloring import edge_color, verify_edge_coloring
-from repro.graph.regularize import pad_to_regular, pad_to_regular_arrays
-from repro.routing.list_system import ListSystem, check_proper_lists_array
+from repro.graph.regularize import (
+    biregular_pad_arrays,
+    pad_to_regular,
+    pad_to_regular_arrays,
+)
+from repro.routing.list_system import (
+    ListSystem,
+    check_proper_lists_array,
+    check_proper_lists_stack,
+)
+from repro.utils.arrayops import shrink_sort_key
 
 __all__ = [
     "FairDistribution",
     "FairDistributionSolver",
     "verify_fair_distribution",
     "verify_fair_distribution_arrays",
+    "verify_fair_distribution_stack",
 ]
 
 
@@ -180,6 +190,72 @@ def verify_fair_distribution_arrays(
         )
 
 
+def verify_fair_distribution_stack(
+    lists: np.ndarray, assignment: np.ndarray, n_targets: int
+) -> None:
+    """Batched :func:`verify_fair_distribution_arrays` over ``(B, n1, Δ1)``.
+
+    ``lists`` may be a single shared ``(B, n1, Δ1)`` stack or broadcastable
+    to ``assignment``'s shape.  Violations raise with the single-system
+    message for the row-major first offender.
+    """
+    batch, n_sources, delta1 = assignment.shape
+    delta2 = (n_sources * delta1) // n_targets
+    if lists.shape != assignment.shape:
+        raise FairnessViolationError(
+            f"assignment has shape {assignment.shape}, expected {lists.shape}"
+        )
+    out_of_range = (assignment < 0) | (assignment >= n_targets)
+    if out_of_range.any():
+        flat = out_of_range.reshape(batch, n_sources * delta1)
+        b, bad = np.unravel_index(int(np.argmax(flat)), flat.shape)
+        raise FairnessViolationError(
+            f"target {int(assignment.reshape(batch, -1)[b, bad])} of source "
+            f"{int(bad) // delta1} outside T = [0, {n_targets})"
+        )
+    # Condition (1): all Δ1 targets of a source are distinct.
+    row_sorted = np.sort(shrink_sort_key(assignment, n_targets - 1), axis=2)
+    repeats = (row_sorted[:, :, 1:] == row_sorted[:, :, :-1]).any(axis=2)
+    if repeats.any():
+        b, source = np.unravel_index(int(np.argmax(repeats)), repeats.shape)
+        raise FairnessViolationError(
+            f"source {int(source)} reuses a target: "
+            f"{assignment[b, source].tolist()}"
+        )
+    # Condition (3): pairs sharing the same list value get distinct targets.
+    pair_key = np.sort(
+        shrink_sort_key(
+            lists.reshape(batch, -1) * np.int64(n_targets)
+            + assignment.reshape(batch, -1),
+            n_targets * n_targets - 1,
+        ),
+        axis=1,
+    )
+    clash = pair_key[:, 1:] == pair_key[:, :-1]
+    if clash.any():
+        b, i = np.unravel_index(int(np.argmax(clash)), clash.shape)
+        key = int(pair_key[b, i])
+        raise FairnessViolationError(
+            f"two pairs with list value {key // n_targets} share target "
+            f"{key % n_targets}"
+        )
+    # Condition (2): every target carries exactly Δ2 pairs.
+    load = np.bincount(
+        (
+            assignment.reshape(batch, -1)
+            + np.arange(batch, dtype=np.int64)[:, None] * n_targets
+        ).ravel(),
+        minlength=batch * n_targets,
+    ).reshape(batch, n_targets)
+    unbalanced = load != delta2
+    if unbalanced.any():
+        b, target = np.unravel_index(int(np.argmax(unbalanced)), unbalanced.shape)
+        raise FairnessViolationError(
+            f"target {int(target)} is assigned {int(load[b, target])} pairs, "
+            f"expected Δ2={delta2}"
+        )
+
+
 class FairDistributionSolver:
     """Computes fair distributions by the constructive proof of Theorem 1.
 
@@ -265,6 +341,9 @@ class FairDistributionSolver:
         the same canonical arrays to the same deterministic kernel and read
         colours back per edge in ascending order.
 
+        B=1 front of :meth:`solve_array_batch`, which is bit-identical per
+        batch row.
+
         Raises
         ------
         EdgeColoringError
@@ -273,54 +352,134 @@ class FairDistributionSolver:
         ImproperListSystemError / FairnessViolationError
             As :meth:`solve`.
         """
+        lists = np.asarray(lists, dtype=np.int64)
+        return self.solve_array_batch(lists[None, ...], n_targets)[0]
+
+    def solve_array_batch(self, lists: np.ndarray, n_targets: int) -> np.ndarray:
+        """Batched :meth:`solve_array`: ``(B, n1, Δ1)`` lists in, targets out.
+
+        One Theorem 1 pipeline call for the whole batch.  The padding
+        construction is permutation-independent, so ``H1``/``H2`` are built
+        once and broadcast; the canonical instance stacks are produced by a
+        single row-wise sort of composite ``left·nv + right`` keys (the sort
+        *is* :meth:`~repro.graph.array_multigraph.ArrayMultigraph.
+        from_instances`'s canonical expansion); colouring runs through the
+        backend's stack kernel; and the readback is the same two sorts as
+        :meth:`solve_array`, row-wise.  Row ``b`` of the result is
+        bit-identical to ``solve_array(lists[b], n_targets)``.
+        """
         from repro.graph.array_coloring import (
             ARRAY_COLORING_KERNELS,
-            verify_instance_coloring,
+            ARRAY_COLORING_STACK_KERNELS,
+            verify_instance_coloring_stack,
         )
 
-        kernel = ARRAY_COLORING_KERNELS.get(self.backend)
+        kernel = ARRAY_COLORING_STACK_KERNELS.get(self.backend)
         if kernel is None:
             raise EdgeColoringError(
                 f"backend {self.backend!r} has no array colouring kernel; "
                 f"available: {sorted(ARRAY_COLORING_KERNELS)}"
             )
         lists = np.asarray(lists, dtype=np.int64)
-        n_sources, delta1 = lists.shape
-        check_proper_lists_array(lists, n_targets)
+        batch, n_sources, delta1 = lists.shape
+        check_proper_lists_stack(lists, n_targets)
 
-        core = ArrayMultigraph.from_instances(
-            n_sources,
-            n_sources,
-            np.repeat(np.arange(n_sources, dtype=np.int64), delta1),
-            lists.ravel(),
-        )
-        padded = pad_to_regular_arrays(core, n_targets)
-        colors = kernel(padded.graph)
-        if self.verify:
-            verify_instance_coloring(padded.graph, colors)
+        # Padding parameters and the H1/H2 biregular graphs depend only on
+        # (n1, Δ1, n2) — shared across the batch.  Validation mirrors
+        # pad_to_regular_arrays message for message.
+        n1, n2 = n_sources, n_targets
+        if n2 < delta1:
+            raise GraphError(
+                f"target degree {n2} is smaller than the core degree {delta1}"
+            )
+        if (n1 * delta1) % n2 != 0:
+            raise GraphError(
+                f"target degree {n2} does not divide n1*Δ1 = {n1 * delta1}; "
+                "the list system is not proper"
+            )
+        delta2 = (n1 * delta1) // n2
+        n_pad = n1 - delta2
+        pad_degree = n2 - delta1
+        m_core = n1 * delta1
+        core_left = np.repeat(np.arange(n1, dtype=np.int64), delta1)
+        core_right = lists.reshape(batch, m_core)
 
-        # Read back: core instances carry the assigned targets.  Sorting the
-        # instances by (source, value, colour) and the list positions by
-        # (source, value, position) aligns the k-th colour of each edge with
-        # the k-th occurrence of its value — the object pipeline's ascending
-        # colour / ascending position pairing.
-        instance_left, instance_right = padded.graph.instances()
-        core_mask = (instance_left < n_sources) & (instance_right < n_sources)
-        edge_key = (
-            instance_left[core_mask] * np.int64(n_sources)
-            + instance_right[core_mask]
+        if n_pad == 0 or pad_degree == 0:
+            if delta1 != n2:
+                raise GraphError(
+                    "inconsistent padding parameters: no padding vertices "
+                    f"required but core degree {delta1} != target {n2}"
+                )
+            nv = n1
+            key = core_left[None, :] * np.int64(nv) + core_right
+        else:
+            pad_left, pad_right = biregular_pad_arrays(n_pad, n1, n2, pad_degree)
+            nv = n1 + n_pad
+            pad_key = np.concatenate(
+                (
+                    (n1 + pad_left) * np.int64(nv) + pad_right,
+                    pad_right * np.int64(nv) + (n1 + pad_left),
+                )
+            )
+            key = np.concatenate(
+                (
+                    core_left[None, :] * np.int64(nv) + core_right,
+                    np.broadcast_to(pad_key, (batch, pad_key.size)),
+                ),
+                axis=1,
+            )
+        # Row-wise canonicalization: sorting the composite keys IS the
+        # canonical instance expansion of ArrayMultigraph.from_instances.
+        sorted_key = np.sort(shrink_sort_key(key, nv * nv - 1), axis=1)
+        instance_left = sorted_key // nv
+        instance_right = sorted_key % nv
+        left_degrees = np.bincount(
+            (instance_left + np.arange(batch, dtype=np.int64)[:, None] * nv).ravel(),
+            minlength=batch * nv,
         )
-        core_colors = colors[core_mask]
-        instance_order = np.lexsort((core_colors, edge_key))
-        position_key = (
-            np.repeat(np.arange(n_sources, dtype=np.int64), delta1)
-            * np.int64(n_sources)
-            + lists.ravel()
+        right_degrees = np.bincount(
+            (instance_right + np.arange(batch, dtype=np.int64)[:, None] * nv).ravel(),
+            minlength=batch * nv,
         )
-        position_order = np.argsort(position_key, kind="stable")
-        assignment = np.empty(n_sources * delta1, dtype=np.int64)
-        assignment[position_order] = core_colors[instance_order]
-        assignment = assignment.reshape(n_sources, delta1)
+        if not ((left_degrees == n2).all() and (right_degrees == n2).all()):
+            raise GraphError("padding failed to produce an n2-regular multigraph")
+
+        colors = kernel(instance_left, instance_right, nv, nv, n2)
         if self.verify:
-            verify_fair_distribution_arrays(lists, assignment, n_targets)
+            verify_instance_coloring_stack(
+                instance_left, instance_right, nv, nv, colors
+            )
+
+        # Read back, row-wise: core instances carry the assigned targets;
+        # the (source, value, ascending colour) / (source, value, ascending
+        # position) pairing of solve_array, with the sorts along axis 1.
+        core_mask = (instance_left < n1) & (instance_right < n1)
+        core_key = (
+            instance_left[core_mask] * np.int64(n1) + instance_right[core_mask]
+        ).reshape(batch, m_core)
+        core_colors = colors[core_mask].reshape(batch, m_core)
+        instance_order = np.lexsort(
+            (
+                shrink_sort_key(core_colors, n2 - 1),
+                shrink_sort_key(core_key, n1 * n1 - 1),
+            ),
+            axis=-1,
+        )
+        position_key = core_left * np.int64(n1)
+        position_key = position_key[None, :] + core_right
+        position_order = np.argsort(
+            shrink_sort_key(position_key, (n1 - 1) * n1 + n2 - 1),
+            axis=1,
+            kind="stable",
+        )
+        assignment = np.empty((batch, m_core), dtype=np.int64)
+        np.put_along_axis(
+            assignment,
+            position_order,
+            np.take_along_axis(core_colors, instance_order, axis=1),
+            axis=1,
+        )
+        assignment = assignment.reshape(batch, n_sources, delta1)
+        if self.verify:
+            verify_fair_distribution_stack(lists, assignment, n_targets)
         return assignment

@@ -25,7 +25,13 @@ from repro.graph.array_multigraph import ArrayMultigraph
 from repro.graph.multigraph import BipartiteMultigraph
 from repro.utils.validation import check_permutation, check_positive_int
 
-__all__ = ["ListSystem", "destination_group_lists", "check_proper_lists_array"]
+__all__ = [
+    "ListSystem",
+    "destination_group_lists",
+    "destination_group_lists_stack",
+    "check_proper_lists_array",
+    "check_proper_lists_stack",
+]
 
 
 def destination_group_lists(images: np.ndarray, d: int, g: int) -> np.ndarray:
@@ -36,6 +42,14 @@ def destination_group_lists(images: np.ndarray, d: int, g: int) -> np.ndarray:
     ``images`` must already be a validated length-``d·g`` permutation array.
     """
     return images.reshape(g, d) // d
+
+
+def destination_group_lists_stack(images: np.ndarray, d: int, g: int) -> np.ndarray:
+    """Batched :func:`destination_group_lists`: ``(B, d·g)`` → ``(B, g, d)``.
+
+    ``images`` must already be a validated ``(B, d·g)`` permutation stack.
+    """
+    return images.reshape(-1, g, d) // d
 
 
 def check_proper_lists_array(lists: np.ndarray, n_targets: int) -> None:
@@ -56,6 +70,30 @@ def check_proper_lists_array(lists: np.ndarray, n_targets: int) -> None:
         element = int(bad[0])
         raise ImproperListSystemError(
             f"element {element} appears {int(occurrences[element])} times "
+            f"across all lists, expected Δ1={delta1}"
+        )
+
+
+def check_proper_lists_stack(lists: np.ndarray, n_targets: int) -> None:
+    """Batched :func:`check_proper_lists_array` over a ``(B, n1, Δ1)`` stack.
+
+    Raises with the single-system message for the row-major first violation.
+    """
+    batch, n_sources, delta1 = lists.shape
+    if (n_sources * delta1) % n_targets != 0:
+        raise ImproperListSystemError(
+            f"n2={n_targets} does not divide n1*Δ1={n_sources * delta1}"
+        )
+    flat = lists.reshape(batch, n_sources * delta1)
+    occurrences = np.bincount(
+        (flat + np.arange(batch, dtype=np.int64)[:, None] * n_sources).ravel(),
+        minlength=batch * n_sources,
+    ).reshape(batch, n_sources)
+    bad = occurrences != delta1
+    if bad.any():
+        b, element = np.unravel_index(int(np.argmax(bad)), bad.shape)
+        raise ImproperListSystemError(
+            f"element {int(element)} appears {int(occurrences[b, element])} times "
             f"across all lists, expected Δ1={delta1}"
         )
 

@@ -22,9 +22,11 @@ from __future__ import annotations
 from collections.abc import Sequence
 from math import ceil
 
+import numpy as np
+
 from repro.pops.topology import POPSNetwork
 from repro.utils.permutations import is_derangement
-from repro.utils.validation import check_permutation
+from repro.utils.validation import check_permutation, check_permutation_stack
 
 __all__ = [
     "is_group_moving",
@@ -33,6 +35,7 @@ __all__ = [
     "proposition2_lower_bound",
     "proposition3_lower_bound",
     "best_known_lower_bound",
+    "best_known_lower_bound_stack",
 ]
 
 
@@ -112,3 +115,45 @@ def best_known_lower_bound(network: POPSNetwork, pi: Sequence[int]) -> int:
     if any(images[i] != i for i in range(network.n)):
         applicable.append(1)
     return max(applicable, default=0)
+
+
+def best_known_lower_bound_stack(
+    network: POPSNetwork, pis, *, validate: bool = True
+) -> np.ndarray:
+    """Batched :func:`best_known_lower_bound` over a ``(B, n)`` stack.
+
+    Returns a ``(B,)`` int64 array; entry ``b`` equals
+    ``best_known_lower_bound(network, pis[b])``.  The Proposition 1–3
+    predicates become axis reductions over the stack.  ``validate=False``
+    skips the permutation-stack check for callers that already hold the
+    validated int64 image stack.
+    """
+    images = (
+        check_permutation_stack(pis, network.n)
+        if validate
+        else np.asarray(pis, dtype=np.int64)
+    )
+    d, g = network.d, network.g
+    src = np.arange(network.n, dtype=np.int64)
+    moving = images != src
+    nonidentity = moving.any(axis=1)
+    derangement = moving.all(axis=1)
+    src_group = src // d
+    dest_group = images // d
+    group_moving = (dest_group != src_group).all(axis=1)
+    blocks = dest_group.reshape(-1, g, d)
+    group_blocked = (blocks == blocks[:, :, :1]).all(axis=(1, 2))
+    bounds = np.where(nonidentity, 1, 0).astype(np.int64)
+    bounds = np.where(derangement, np.maximum(bounds, ceil(d / g)), bounds)
+    if d > 1:
+        bounds = np.where(
+            group_moving & group_blocked,
+            np.maximum(bounds, 2 * ceil(d / g)),
+            bounds,
+        )
+        bounds = np.where(
+            derangement & group_blocked,
+            np.maximum(bounds, 2 * ceil(d / (1 + g))),
+            bounds,
+        )
+    return bounds

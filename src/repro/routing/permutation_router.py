@@ -44,12 +44,17 @@ from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule
 from repro.pops.topology import POPSNetwork
 from repro.routing.fair_distribution import FairDistribution, FairDistributionSolver
-from repro.routing.list_system import ListSystem, destination_group_lists
+from repro.routing.list_system import ListSystem, destination_group_lists_stack
 from repro.routing.two_hop import build_theorem2_schedule
-from repro.utils.validation import check_permutation, check_permutation_array
+from repro.utils.arrayops import shrink_sort_key
+from repro.utils.validation import (
+    check_permutation,
+    check_permutation_array,
+    check_permutation_stack,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.pops.engine import CompiledSchedule, ScheduleCache
+    from repro.pops.engine import CompiledSchedule, CompiledScheduleBatch, ScheduleCache
 
 __all__ = ["PermutationRouter", "RoutingPlan", "theorem2_slot_bound"]
 
@@ -200,48 +205,74 @@ class PermutationRouter:
             store.put(cache_key, compiled)
         return compiled
 
+    def route_compiled_batch(
+        self,
+        pis,
+        *,
+        cache_key: Hashable | None = None,
+        cache: ScheduleCache | None = None,
+        validate: bool = True,
+    ) -> CompiledScheduleBatch:
+        """Route a ``(B, n)`` permutation stack to one compiled batch.
+
+        The megabatch pipeline: one validation pass, one batched fair
+        distribution, one batched plan assembly — per-call Python overhead is
+        paid once for ``B`` permutations instead of ``B`` times.
+        ``element(b)`` of the result is bit-identical to
+        ``route_compiled(pis[b])``.
+
+        ``cache_key`` caches the whole batch under one entry (use
+        :func:`repro.analysis.metrics.routing_cache_key_batch`, which covers
+        batch membership and order); there is no per-element cache fill.
+        ``validate=False`` skips the permutation-stack check for callers that
+        already hold the validated int64 image stack.
+        """
+        store = None
+        if cache_key is not None:
+            from repro.pops.engine import schedule_cache
+
+            store = cache if cache is not None else schedule_cache()
+            compiled = store.get(cache_key)
+            if compiled is not None:
+                return compiled
+        compiled = self._route_compiled_batch_uncached(pis, validate=validate)
+        if store is not None:
+            store.put(cache_key, compiled)
+        return compiled
+
     # -- array-native plan construction --------------------------------------------
 
     def _route_compiled_uncached(self, pi: Sequence[int]) -> CompiledSchedule:
+        images = check_permutation_array(pi, self.network.n)
+        return self._route_compiled_batch_uncached(images[None, :]).element(0)
+
+    def _route_compiled_batch_uncached(
+        self, pis, *, validate: bool = True
+    ) -> CompiledScheduleBatch:
         from repro.graph.array_coloring import ARRAY_COLORING_KERNELS
-        from repro.pops.engine import compile_schedule
-        from repro.pops.lowering import assemble_compiled_plan
 
         network = self.network
         d, g = network.d, network.g
-        if d > 1 and self.solver.backend not in ARRAY_COLORING_KERNELS:
-            plan = self.route(pi)
-            return compile_schedule(network, plan.schedule, plan.packets)
+        images = (
+            check_permutation_stack(pis, network.n)
+            if validate
+            else np.asarray(pis, dtype=np.int64)
+        )
 
-        images = check_permutation_array(pi, network.n)
-        n = network.n
-        src = np.arange(n, dtype=np.int64)
-        dest = images
-        # C-level iteration; the packet list is the only per-processor Python
-        # object the fast path materialises (it is part of the compiled
-        # schedule's public contract, not an intermediate).
-        packets = list(map(Packet, range(n), images.tolist()))
+        if d > 1 and self.solver.backend not in ARRAY_COLORING_KERNELS:
+            return self._stack_object_plans(images)
 
         if d == 1:
-            # POPS(1, n) is fully connected: one direct slot, coupler
-            # c(dest_group, source_group) with singleton groups.
-            compiled = assemble_compiled_plan(
-                network,
-                packets,
-                tx_sender=src,
-                tx_packet=src,
-                tx_coupler=dest * g + src,
-                tx_counts=[n],
-                del_receiver=dest,
-                del_packet=src,
-                del_counts=[n],
-                initial_loc=src,
-                pk_destination=dest,
-            )
-        elif d <= g:
-            compiled = self._compile_two_slot(images, packets)
+            compiled = _compile_d1_plan_batch(network, images)
         else:
-            compiled = self._compile_rounds(images, packets)
+            fair = self.solver.solve_array_batch(
+                destination_group_lists_stack(images, d, g), g if d <= g else d
+            )
+            fair_value = fair.reshape(images.shape)
+            if d <= g:
+                compiled = _compile_two_slot_plan_batch(network, images, fair_value)
+            else:
+                compiled = _compile_round_plan_batch(network, images, fair_value)
 
         expected = theorem2_slot_bound(d, g)
         if compiled.n_slots != expected:
@@ -251,178 +282,56 @@ class PermutationRouter:
             )
         return compiled
 
-    def _compile_two_slot(
-        self, images: np.ndarray, packets: list[Packet]
-    ) -> CompiledSchedule:
-        """Array twin of :func:`~repro.routing.two_hop.build_two_slot_schedule`."""
-        from repro.pops.lowering import assemble_compiled_plan
+    def _stack_object_plans(self, images: np.ndarray) -> CompiledScheduleBatch:
+        """Non-array-backend fallback: route each element object-level, lower,
+        and stack the compiled planes over the shared CSR structure.
+
+        Theorem 2 plans of a fixed (d, g) share their slot segmentation, so
+        the per-element compiled schedules always agree on the ``*_ptr`` /
+        idle arrays; a mismatch would mean the router emitted a structurally
+        different plan and is reported as an internal error.
+        """
+        from repro.pops.engine import CompiledScheduleBatch, compile_schedule
 
         network = self.network
-        d, g = network.d, network.g
-        n = network.n
-        src = np.arange(n, dtype=np.int64)
-        source_group = src // d
-        dest = images
-        dest_group = dest // d
-        fair = self.solver.solve_array(
-            destination_group_lists(images, d, g), g
-        )
-        fair_value = fair.ravel()
-
-        bad = np.flatnonzero((fair_value < 0) | (fair_value >= g))
-        if bad.size:
-            raise RoutingError(
-                f"fair value {int(fair_value[bad[0]])} for processor "
-                f"{int(bad[0])} is not a group"
+        elements = []
+        for b in range(images.shape[0]):
+            plan = self.route(images[b].tolist())
+            elements.append(
+                compile_schedule(network, plan.schedule, plan.packets)
             )
-        arrivals = np.bincount(fair_value, minlength=g)
-        unbalanced = np.flatnonzero(arrivals != d)
-        if unbalanced.size:
-            j = int(unbalanced[0])
-            raise RoutingError(
-                f"intermediate group {j} receives {int(arrivals[j])} packets, "
-                f"expected exactly d={d} (fair-distribution condition 2 violated)"
-            )
-        # Scatter: processor (h, i) drives c(f(h, i), h); the receiver in
-        # group j for the packet from group h is processor (j, rank of h),
-        # i.e. sorting sources by (f, h) lines receivers up as 0..n-1.
-        scatter_coupler = fair_value * g + source_group
-        scatter_order = np.argsort(scatter_coupler, kind="stable")
-        sorted_coupler = scatter_coupler[scatter_order]
-        duplicate = np.flatnonzero(sorted_coupler[1:] == sorted_coupler[:-1])
-        if duplicate.size:
-            j = int(sorted_coupler[duplicate[0]]) // g
-            raise RoutingError(
-                f"intermediate group {j} receives two packets from the "
-                "same source group (fair-distribution condition 1 violated)"
-            )
-        holder = np.empty(n, dtype=np.int64)
-        holder[scatter_order] = src
-
-        # Deliver (Fact 1): the holder's group is the fair value.
-        deliver_coupler = dest_group * g + fair_value
-        sorted_deliver = np.sort(deliver_coupler)
-        clash = np.flatnonzero(sorted_deliver[1:] == sorted_deliver[:-1])
-        if clash.size:
-            key = int(sorted_deliver[clash[0]])
-            raise RoutingError(
-                f"delivery slot needs coupler c({key // g}, {key % g}) twice; "
-                "the packets were not fairly distributed after the scatter slot"
-            )
-
-        return assemble_compiled_plan(
-            network,
-            packets,
-            tx_sender=np.concatenate((src, holder)),
-            tx_packet=np.concatenate((src, src)),
-            tx_coupler=np.concatenate((scatter_coupler, deliver_coupler)),
-            tx_counts=[n, n],
-            del_receiver=np.concatenate((src, dest)),
-            del_packet=np.concatenate((scatter_order, src)),
-            del_counts=[n, n],
-            initial_loc=src,
-            pk_destination=dest,
-        )
-
-    def _compile_rounds(
-        self, images: np.ndarray, packets: list[Packet]
-    ) -> CompiledSchedule:
-        """Array twin of :func:`~repro.routing.two_hop.build_round_schedule`."""
-        from repro.pops.lowering import assemble_compiled_plan
-
-        network = self.network
-        d, g = network.d, network.g
-        n = network.n
-        src = np.arange(n, dtype=np.int64)
-        source_group = src // d
-        dest = images
-        dest_group = dest // d
-        fair = self.solver.solve_array(
-            destination_group_lists(images, d, g), d
-        )
-        fair_value = fair.ravel()
-
-        bad = np.flatnonzero((fair_value < 0) | (fair_value >= d))
-        if bad.size:
-            raise RoutingError(
-                f"fair value {int(fair_value[bad[0]])} for processor "
-                f"{int(bad[0])} is outside N_d"
-            )
-        injective_key = np.sort(source_group * d + fair_value)
-        duplicate = np.flatnonzero(injective_key[1:] == injective_key[:-1])
-        if duplicate.size:
-            key = int(injective_key[duplicate[0]])
-            raise RoutingError(
-                f"group {key // d} assigns fair value {key % d} twice "
-                "(fair-distribution condition 1 violated)"
-            )
-
-        # Round k moves the packets with fair value in [k·g, (k+1)·g); the
-        # within-round intermediate group is the value minus k·g.
-        round_of = fair_value // g
-        intermediate = fair_value % g
-        n_rounds = (d + g - 1) // g
-        order = np.argsort(round_of, kind="stable")
-        members = src[order]
-        member_ig = intermediate[order]
-        member_group = source_group[order]
-        member_destg = dest_group[order]
-        holders = member_ig * d + member_group
-
-        g2 = g * g
-        scatter_key = round_of[order] * g2 + member_ig * g + member_group
-        sorted_scatter = np.sort(scatter_key)
-        clash = np.flatnonzero(sorted_scatter[1:] == sorted_scatter[:-1])
-        if clash.size:
-            key = int(sorted_scatter[clash[0]]) % g2
-            raise RoutingError(
-                f"two packets of one round share coupler c({key // g},{key % g}) "
-                "(fair-distribution condition 2 violated)"
-            )
-        deliver_key = round_of[order] * g2 + member_destg * g + member_ig
-        sorted_deliver = np.sort(deliver_key)
-        clash = np.flatnonzero(sorted_deliver[1:] == sorted_deliver[:-1])
-        if clash.size:
-            key = int(sorted_deliver[clash[0]]) % g2
-            raise RoutingError(
-                f"delivery slot needs coupler c({key // g}, {key % g}) twice; "
-                "the packets were not fairly distributed after the scatter slot"
-            )
-
-        bounds = np.concatenate(
-            ([0], np.cumsum(np.bincount(round_of, minlength=n_rounds)))
-        )
-        tx_sender_parts: list[np.ndarray] = []
-        tx_packet_parts: list[np.ndarray] = []
-        tx_coupler_parts: list[np.ndarray] = []
-        del_receiver_parts: list[np.ndarray] = []
-        del_packet_parts: list[np.ndarray] = []
-        slot_counts: list[int] = []
-        for k in range(n_rounds):
-            lo, hi = int(bounds[k]), int(bounds[k + 1])
-            window = slice(lo, hi)
-            tx_sender_parts += [members[window], holders[window]]
-            tx_packet_parts += [members[window], members[window]]
-            tx_coupler_parts += [
-                member_ig[window] * g + member_group[window],
-                member_destg[window] * g + member_ig[window],
-            ]
-            del_receiver_parts += [holders[window], dest[members[window]]]
-            del_packet_parts += [members[window], members[window]]
-            slot_counts += [hi - lo, hi - lo]
-
-        return assemble_compiled_plan(
-            network,
-            packets,
-            tx_sender=np.concatenate(tx_sender_parts),
-            tx_packet=np.concatenate(tx_packet_parts),
-            tx_coupler=np.concatenate(tx_coupler_parts),
-            tx_counts=slot_counts,
-            del_receiver=np.concatenate(del_receiver_parts),
-            del_packet=np.concatenate(del_packet_parts),
-            del_counts=slot_counts,
-            initial_loc=src,
-            pk_destination=dest,
+        first = elements[0]
+        for other in elements[1:]:
+            if first.n_slots != other.n_slots or not all(
+                np.array_equal(getattr(first, name), getattr(other, name))
+                for name in (
+                    "tx_ptr", "pay_ptr", "del_ptr", "con_ptr",
+                    "idle_receiver", "idle_coupler",
+                )
+            ):
+                raise RoutingError(
+                    "internal error: per-element plans disagree on the shared "
+                    "slot structure; cannot stack them into a batch"
+                )
+        return CompiledScheduleBatch(
+            network=network,
+            n_batch=len(elements),
+            n_slots=first.n_slots,
+            tx_sender=np.stack([e.tx_sender for e in elements]),
+            tx_packet=np.stack([e.tx_packet for e in elements]),
+            tx_ptr=first.tx_ptr,
+            pay_coupler=np.stack([e.pay_coupler for e in elements]),
+            pay_packet=np.stack([e.pay_packet for e in elements]),
+            pay_ptr=first.pay_ptr,
+            del_receiver=np.stack([e.del_receiver for e in elements]),
+            del_packet=np.stack([e.del_packet for e in elements]),
+            del_ptr=first.del_ptr,
+            con_packet=np.stack([e.con_packet for e in elements]),
+            con_ptr=first.con_ptr,
+            idle_receiver=first.idle_receiver,
+            idle_coupler=first.idle_coupler,
+            initial_loc=np.stack([e.initial_loc for e in elements]),
+            pk_destination=np.stack([e.pk_destination for e in elements]),
         )
 
     # -- case d == 1 --------------------------------------------------------------------
@@ -439,3 +348,243 @@ class PermutationRouter:
             slot.add_transmission(packet.source, coupler, packet)
             slot.add_reception(packet.destination, coupler)
         return schedule
+
+
+# -- batched plan builders ----------------------------------------------------------
+#
+# Module-level so the specialised routers (e.g. the blocked-permutation router,
+# which computes its fair values in closed form) can reuse the Theorem 2 plan
+# assembly with their own fair-value planes.  All builders take (B, n) image
+# stacks, validate vectorized with row-major first-offender reporting (the
+# raised message is exactly what routing the offending element alone would
+# raise), and emit one CompiledScheduleBatch over the shared CSR structure.
+
+
+def _compile_d1_plan_batch(
+    network: POPSNetwork, images: np.ndarray
+) -> CompiledScheduleBatch:
+    """Batched d == 1 plan: POPS(1, n) is fully connected, one direct slot."""
+    from repro.pops.lowering import assemble_compiled_plan_batch
+
+    g = network.g
+    n = network.n
+    src = np.arange(n, dtype=np.int64)
+    dest = images
+    return assemble_compiled_plan_batch(
+        network,
+        images.shape[0],
+        tx_sender=src,
+        tx_packet=src,
+        tx_coupler=dest * g + src,
+        tx_counts=[n],
+        del_receiver=dest,
+        del_packet=src,
+        del_counts=[n],
+        initial_loc=src,
+        pk_destination=dest,
+    )
+
+
+def _compile_two_slot_plan_batch(
+    network: POPSNetwork, images: np.ndarray, fair_value: np.ndarray
+) -> CompiledScheduleBatch:
+    """Batched twin of :func:`~repro.routing.two_hop.build_two_slot_schedule`.
+
+    ``fair_value`` is the ``(B, n)`` plane of intermediate groups (the fair
+    distribution flattened over processors).
+    """
+    from repro.pops.lowering import assemble_compiled_plan_batch
+
+    d, g = network.d, network.g
+    n = network.n
+    n_batch = images.shape[0]
+    src = np.arange(n, dtype=np.int64)
+    source_group = src // d
+    dest = images
+    dest_group = dest // d
+
+    invalid = (fair_value < 0) | (fair_value >= g)
+    if invalid.any():
+        b, p = np.unravel_index(int(np.argmax(invalid)), invalid.shape)
+        raise RoutingError(
+            f"fair value {int(fair_value[b, p])} for processor "
+            f"{int(p)} is not a group"
+        )
+    offsets = (np.arange(n_batch, dtype=np.int64) * g)[:, None]
+    arrivals = np.bincount(
+        (fair_value + offsets).ravel(), minlength=n_batch * g
+    ).reshape(n_batch, g)
+    unbalanced = arrivals != d
+    if unbalanced.any():
+        b, j = np.unravel_index(int(np.argmax(unbalanced)), unbalanced.shape)
+        raise RoutingError(
+            f"intermediate group {int(j)} receives {int(arrivals[b, j])} packets, "
+            f"expected exactly d={d} (fair-distribution condition 2 violated)"
+        )
+    # Scatter: processor (h, i) drives c(f(h, i), h); the receiver in group j
+    # for the packet from group h is processor (j, rank of h), i.e. sorting
+    # sources by (f, h) lines receivers up as 0..n-1 — per batch row.
+    scatter_coupler = fair_value * g + source_group
+    scatter_order = np.argsort(
+        shrink_sort_key(scatter_coupler, g * g - 1), axis=1, kind="stable"
+    )
+    # One flat index drives both the sorted-coupler gather and the holder
+    # scatter (np.put cycles the identity row across the batch).
+    flat_order = (
+        scatter_order + (np.arange(n_batch, dtype=np.int64) * n)[:, None]
+    ).ravel()
+    sorted_coupler = scatter_coupler.ravel()[flat_order].reshape(n_batch, n)
+    duplicate = sorted_coupler[:, 1:] == sorted_coupler[:, :-1]
+    if duplicate.any():
+        b, p = np.unravel_index(int(np.argmax(duplicate)), duplicate.shape)
+        j = int(sorted_coupler[b, p]) // g
+        raise RoutingError(
+            f"intermediate group {j} receives two packets from the "
+            "same source group (fair-distribution condition 1 violated)"
+        )
+    src_plane = np.broadcast_to(src, (n_batch, n))
+    holder = np.empty((n_batch, n), dtype=np.int64)
+    np.put(holder, flat_order, src)
+
+    # Deliver (Fact 1): the holder's group is the fair value.
+    deliver_coupler = dest_group * g + fair_value
+    sorted_deliver = np.sort(shrink_sort_key(deliver_coupler, g * g - 1), axis=1)
+    clash = sorted_deliver[:, 1:] == sorted_deliver[:, :-1]
+    if clash.any():
+        b, p = np.unravel_index(int(np.argmax(clash)), clash.shape)
+        key = int(sorted_deliver[b, p])
+        raise RoutingError(
+            f"delivery slot needs coupler c({key // g}, {key % g}) twice; "
+            "the packets were not fairly distributed after the scatter slot"
+        )
+
+    return assemble_compiled_plan_batch(
+        network,
+        n_batch,
+        tx_sender=np.concatenate((src_plane, holder), axis=1),
+        tx_packet=np.concatenate((src, src)),
+        tx_coupler=np.concatenate((scatter_coupler, deliver_coupler), axis=1),
+        tx_counts=[n, n],
+        del_receiver=np.concatenate((src_plane, dest), axis=1),
+        del_packet=np.concatenate((scatter_order, src_plane), axis=1),
+        del_counts=[n, n],
+        initial_loc=src,
+        pk_destination=dest,
+    )
+
+
+def _compile_round_plan_batch(
+    network: POPSNetwork, images: np.ndarray, fair_value: np.ndarray
+) -> CompiledScheduleBatch:
+    """Batched twin of :func:`~repro.routing.two_hop.build_round_schedule`.
+
+    ``fair_value`` is the ``(B, n)`` plane of fair values in ``N_d``; round
+    ``k`` moves the packets whose value lies in ``[k·g, (k+1)·g)``.
+    """
+    from repro.pops.lowering import assemble_compiled_plan_batch
+
+    d, g = network.d, network.g
+    n = network.n
+    n_batch = images.shape[0]
+    src = np.arange(n, dtype=np.int64)
+    source_group = src // d
+    dest = images
+    dest_group = dest // d
+
+    invalid = (fair_value < 0) | (fair_value >= d)
+    if invalid.any():
+        b, p = np.unravel_index(int(np.argmax(invalid)), invalid.shape)
+        raise RoutingError(
+            f"fair value {int(fair_value[b, p])} for processor "
+            f"{int(p)} is outside N_d"
+        )
+    injective_key = np.sort(
+        shrink_sort_key(source_group * d + fair_value, n - 1), axis=1
+    )
+    duplicate = injective_key[:, 1:] == injective_key[:, :-1]
+    if duplicate.any():
+        b, p = np.unravel_index(int(np.argmax(duplicate)), duplicate.shape)
+        key = int(injective_key[b, p])
+        raise RoutingError(
+            f"group {key // d} assigns fair value {key % d} twice "
+            "(fair-distribution condition 1 violated)"
+        )
+
+    # Round k moves the packets with fair value in [k·g, (k+1)·g); the
+    # within-round intermediate group is the value minus k·g.
+    round_of = fair_value // g
+    intermediate = fair_value % g
+    n_rounds = (d + g - 1) // g
+    order = np.argsort(
+        shrink_sort_key(round_of, n_rounds - 1), axis=1, kind="stable"
+    )
+    members = order  # src[order] == order because src is the identity
+    # One flat gather index serves every member plane.
+    flat_order = (
+        order + (np.arange(n_batch, dtype=np.int64) * n)[:, None]
+    ).ravel()
+    member_ig = intermediate.ravel()[flat_order].reshape(n_batch, n)
+    member_group = source_group[order]
+    member_destg = dest_group.ravel()[flat_order].reshape(n_batch, n)
+    holders = member_ig * d + member_group
+
+    # The injectivity check above makes each group's fair values a bijection
+    # onto N_d, so after the stable sort the round plane is the shared row
+    # ``repeat(k, g * min(g, d - k*g))`` — no gather needed.
+    counts = [g * min(g, d - k * g) for k in range(n_rounds)]
+    member_round = np.repeat(np.arange(n_rounds, dtype=np.int64), counts)
+
+    g2 = g * g
+    scatter_coupler = member_ig * g + member_group
+    scatter_key = member_round[None, :] * g2 + scatter_coupler
+    sorted_scatter = np.sort(shrink_sort_key(scatter_key, n_rounds * g2 - 1), axis=1)
+    clash = sorted_scatter[:, 1:] == sorted_scatter[:, :-1]
+    if clash.any():
+        b, p = np.unravel_index(int(np.argmax(clash)), clash.shape)
+        key = int(sorted_scatter[b, p]) % g2
+        raise RoutingError(
+            f"two packets of one round share coupler c({key // g},{key % g}) "
+            "(fair-distribution condition 2 violated)"
+        )
+    deliver_coupler = member_destg * g + member_ig
+    deliver_key = member_round[None, :] * g2 + deliver_coupler
+    sorted_deliver = np.sort(shrink_sort_key(deliver_key, n_rounds * g2 - 1), axis=1)
+    clash = sorted_deliver[:, 1:] == sorted_deliver[:, :-1]
+    if clash.any():
+        b, p = np.unravel_index(int(np.argmax(clash)), clash.shape)
+        key = int(sorted_deliver[b, p]) % g2
+        raise RoutingError(
+            f"delivery slot needs coupler c({key // g}, {key % g}) twice; "
+            "the packets were not fairly distributed after the scatter slot"
+        )
+
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    dest_of_members = dest.ravel()[flat_order].reshape(n_batch, n)
+    tx_sender_parts: list[np.ndarray] = []
+    tx_packet_parts: list[np.ndarray] = []
+    tx_coupler_parts: list[np.ndarray] = []
+    del_receiver_parts: list[np.ndarray] = []
+    del_packet_parts: list[np.ndarray] = []
+    slot_counts: list[int] = []
+    for k in range(n_rounds):
+        lo, hi = int(bounds[k]), int(bounds[k + 1])
+        tx_sender_parts += [members[:, lo:hi], holders[:, lo:hi]]
+        tx_packet_parts += [members[:, lo:hi], members[:, lo:hi]]
+        tx_coupler_parts += [scatter_coupler[:, lo:hi], deliver_coupler[:, lo:hi]]
+        del_receiver_parts += [holders[:, lo:hi], dest_of_members[:, lo:hi]]
+        del_packet_parts += [members[:, lo:hi], members[:, lo:hi]]
+        slot_counts += [hi - lo, hi - lo]
+
+    return assemble_compiled_plan_batch(
+        network,
+        n_batch,
+        tx_sender=np.concatenate(tx_sender_parts, axis=1),
+        tx_packet=np.concatenate(tx_packet_parts, axis=1),
+        tx_coupler=np.concatenate(tx_coupler_parts, axis=1),
+        tx_counts=slot_counts,
+        del_receiver=np.concatenate(del_receiver_parts, axis=1),
+        del_packet=np.concatenate(del_packet_parts, axis=1),
+        del_counts=slot_counts,
+        initial_loc=src,
+        pk_destination=dest,
+    )

@@ -22,6 +22,7 @@ __all__ = [
     "check_divides",
     "check_permutation",
     "check_permutation_array",
+    "check_permutation_stack",
     "check_probability",
     "check_type",
 ]
@@ -136,6 +137,43 @@ def check_permutation_array(pi: Sequence[int], n: int | None = None) -> np.ndarr
     repeated = np.flatnonzero(counts > 1)
     if repeated.size:
         raise ValidationError(f"permutation repeats the image {int(repeated[0])}")
+    return values
+
+
+def check_permutation_stack(pis: Any, n: int | None = None) -> np.ndarray:
+    """Validate a ``(B, n)`` stack of permutations; returns an ``int64`` array.
+
+    Batched :func:`check_permutation_array`: every row must be a permutation
+    of ``{0, ..., n-1}``.  Violations raise with the single-permutation
+    message for the row-major first offender.
+    """
+    try:
+        values = np.asarray(pis, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError) as error:
+        raise ValidationError(f"permutation is not integer-valued: {error}") from None
+    if values.ndim != 2:
+        raise ValidationError(
+            f"permutation stack must be two-dimensional, got shape {values.shape}"
+        )
+    batch, size = values.shape
+    if n is not None and size != n:
+        raise ValidationError(
+            f"permutation has length {size}, expected {n}"
+        )
+    out_of_range = (values < 0) | (values >= size)
+    if out_of_range.any():
+        b, i = np.unravel_index(int(np.argmax(out_of_range)), out_of_range.shape)
+        raise ValidationError(
+            f"permutation entry {int(values[b, i])} out of range [0, {size})"
+        )
+    counts = np.bincount(
+        (np.arange(batch, dtype=np.int64)[:, None] * size + values).ravel(),
+        minlength=batch * size,
+    ).reshape(batch, size)
+    repeated = counts > 1
+    if repeated.any():
+        b, image = np.unravel_index(int(np.argmax(repeated)), repeated.shape)
+        raise ValidationError(f"permutation repeats the image {int(image)}")
     return values
 
 
