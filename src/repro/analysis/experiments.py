@@ -134,7 +134,7 @@ class ExperimentResult:
 def _theorem2_shard(
     task: tuple[int, int, tuple[int, ...], dict[str, Any]],
     session: Session | None = None,
-) -> tuple[list[int], bool, int, int]:
+) -> tuple[list[int], bool, dict[str, int]]:
     """Run one shard (an explicit list of trial seeds) of a (d, g) configuration.
 
     Top-level so process-pool workers can pickle it.  With no ``session`` (a
@@ -150,7 +150,9 @@ def _theorem2_shard(
     metrics are bit-identical, so merged sweep reports are unchanged (only
     cache-counter granularity differs on the batched engine: one batch-level
     entry per shard).  Returns the sorted slot counts seen, the AND of the
-    per-trial bound checks, and the shard's schedule-cache hit/miss deltas.
+    per-trial bound checks, and the shard's schedule-cache counter deltas
+    (memory hits/misses, plus the persistent tier's disk hits/misses when a
+    plan store is configured — reported separately, never summed).
     """
     d, g, trial_seeds, config_fields = task
     if session is None:
@@ -160,7 +162,7 @@ def _theorem2_shard(
         session = Session(RunConfig(**config_fields))
     network = POPSNetwork(d, g)
     cache = session.cache
-    hits0, misses0 = cache.hits, cache.misses
+    before = cache.stats()
     pis = np.stack(
         [
             np.asarray(
@@ -171,11 +173,16 @@ def _theorem2_shard(
         ]
     )
     trial_metrics = session.route_batch(pis, network=network)
+    after = cache.stats()
+    counter_deltas = {
+        name: after[name] - before.get(name, 0)
+        for name in after
+        if name != "entries"
+    }
     return (
         sorted({metrics.slots for metrics in trial_metrics}),
         all(metrics.meets_theorem2_bound for metrics in trial_metrics),
-        cache.hits - hits0,
-        cache.misses - misses0,
+        counter_deltas,
     )
 
 
@@ -230,7 +237,7 @@ def _theorem2_sweep(
     rows: list[list[Any]] = []
     for d, g in configs:
         trial_seeds = tuple(derive_trial_seeds(rng.randrange(2**31), trials).tolist())
-        slots_seen, verified, _, _ = _theorem2_shard(
+        slots_seen, verified, _ = _theorem2_shard(
             (d, g, trial_seeds, config_fields), session=shard_session
         )
         rows.append(_sweep_row(d, g, set(slots_seen), verified))
@@ -288,7 +295,7 @@ def _parallel_sweep(
             tasks.append((d, g, chunk, config_fields))
             task_config.append(ci)
 
-    shards: list[tuple[list[int], bool, int, int]] | None = None
+    shards: list[tuple[list[int], bool, dict[str, int]]] | None = None
     if max_workers != 0 and len(tasks) > 1:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
@@ -304,14 +311,12 @@ def _parallel_sweep(
     # Merge shard results per configuration (set-union / AND, order-free).
     merged_slots: list[set[int]] = [set() for _ in configs]
     merged_verified = [True] * len(configs)
-    hits = misses = 0
-    for ci, (slots_seen, verified, shard_hits, shard_misses) in zip(
-        task_config, shards
-    ):
+    counters: dict[str, int] = {}
+    for ci, (slots_seen, verified, shard_counters) in zip(task_config, shards):
         merged_slots[ci].update(slots_seen)
         merged_verified[ci] = merged_verified[ci] and verified
-        hits += shard_hits
-        misses += shard_misses
+        for name, delta in shard_counters.items():
+            counters[name] = counters.get(name, 0) + delta
     rows = [
         _sweep_row(d, g, merged_slots[ci], merged_verified[ci])
         for ci, (d, g) in enumerate(configs)
@@ -325,7 +330,18 @@ def _parallel_sweep(
     if shard_trials is not None:
         notes["trials per shard"] = shard
     if config.cache_stats:
-        notes["schedule cache"] = f"{hits} hits / {misses} misses"
+        hits = counters.get("hits", 0)
+        misses = counters.get("misses", 0)
+        if "disk_hits" in counters:
+            # A plan store is attached: the tiers report separately (memory
+            # hits are this-process warmth, disk hits are cross-process /
+            # cross-run warmth; misses means both tiers missed).
+            notes["schedule cache"] = (
+                f"{hits} memory hits / {counters['disk_hits']} disk hits / "
+                f"{misses} misses"
+            )
+        else:
+            notes["schedule cache"] = f"{hits} hits / {misses} misses"
     return ExperimentResult(
         experiment_id="E1p",
         title="Theorem 2 sweep fanned across worker processes",

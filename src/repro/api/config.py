@@ -47,6 +47,7 @@ _CLI_FIELDS: dict[str, str] = {
     "workers": "workers",
     "shard_trials": "shard_trials",
     "cache_stats": "cache_stats",
+    "plan_store": "plan_store_path",
 }
 
 
@@ -99,6 +100,13 @@ class RunConfig:
         many trials (``None`` = one task per configuration).
     cache_stats:
         Report schedule-cache hit/miss counters in sweep notes.
+    plan_store_path:
+        Directory of the persistent content-addressed compiled-plan store
+        (:class:`~repro.pops.plan_store.PlanStore`), attached as a second
+        tier under the session's schedule cache; ``None`` (default) keeps
+        the cache memory-only.  Because the whole config crosses process
+        boundaries, ``sweep --shard-trials`` pool workers all open the same
+        store and share plans instead of recompiling per process.
     """
 
     router_backend: str = "konig"
@@ -112,6 +120,7 @@ class RunConfig:
     workers: int | None = None
     shard_trials: int | None = None
     cache_stats: bool = False
+    plan_store_path: str | None = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -165,6 +174,13 @@ class RunConfig:
             _check_positive_int("shard_trials", self.shard_trials)
         if not isinstance(self.cache_stats, bool):
             raise ValueError(f"cache_stats must be a bool, got {self.cache_stats!r}")
+        if self.plan_store_path is not None and (
+            not isinstance(self.plan_store_path, str) or not self.plan_store_path
+        ):
+            raise ValueError(
+                "plan_store_path must be a non-empty str or None, "
+                f"got {self.plan_store_path!r}"
+            )
 
     # -- derivation ---------------------------------------------------------
 

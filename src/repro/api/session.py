@@ -75,7 +75,11 @@ class Session:
         :class:`~repro.pops.engine.ScheduleCache` sized by the config; pass
         :func:`repro.pops.engine.schedule_cache` to share the process-wide
         cache (the deprecation shims do, preserving their historical
-        behaviour).
+        behaviour).  With ``config.plan_store_path`` set, the session-owned
+        cache is built with the persistent
+        :class:`~repro.pops.plan_store.PlanStore` at that path attached as
+        its disk tier (a caller-provided ``cache`` is taken as-is — its
+        tiering is the caller's decision).
     """
 
     def __init__(
@@ -88,14 +92,19 @@ class Session:
                 f"config must be a RunConfig or None, got {type(config).__name__}"
             )
         self.config = config
-        self.cache = (
-            cache
-            if cache is not None
-            else ScheduleCache(
+        if cache is not None:
+            self.cache = cache
+        else:
+            store = None
+            if config.plan_store_path is not None:
+                from repro.pops.plan_store import PlanStore
+
+                store = PlanStore(config.plan_store_path)
+            self.cache = ScheduleCache(
                 max_entries=config.cache_max_entries,
                 max_bytes=config.cache_max_bytes,
+                store=store,
             )
-        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Session(config={self.config!r})"
@@ -118,7 +127,12 @@ class Session:
         return derive_trial_seeds(root, trials)
 
     def cache_stats(self) -> dict[str, int]:
-        """Hit/miss/entry counters of the session's schedule cache."""
+        """Hit/miss/entry counters of the session's schedule cache.
+
+        With a plan store configured the dict additionally carries the
+        ``disk_hits`` / ``disk_misses`` counters of the persistent tier
+        (kept separate from the memory counters, never summed).
+        """
         return self.cache.stats()
 
     # -- capabilities -------------------------------------------------------

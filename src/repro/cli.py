@@ -48,6 +48,19 @@ Shard a single huge configuration's trials across all cores and report the
 compiled-schedule cache counters::
 
     pops-repro sweep --configs 128:128 --trials 16 --shard-trials 2 --cache-stats
+
+Share one persistent compiled-plan store across the pool workers (and any
+later process pointed at the same directory — a second sweep, a CI job
+restored from cache, a future serving daemon starting warm)::
+
+    pops-repro sweep --configs 64:64 --trials 8 --plan-store .plan-store
+
+Inspect, pre-warm, garbage-collect or integrity-check that store::
+
+    pops-repro cache stats --plan-store .plan-store --format json
+    pops-repro cache warm --plan-store .plan-store --configs 64:64 --trials 8
+    pops-repro cache gc --plan-store .plan-store --max-bytes 268435456
+    pops-repro cache verify --plan-store .plan-store
 """
 
 from __future__ import annotations
@@ -81,6 +94,19 @@ def _add_format_flag(subparser: argparse.ArgumentParser) -> None:
         choices=("text", "json"),
         default="text",
         help="output format (json = machine-readable)",
+    )
+
+
+def _add_plan_store_flag(subparser: argparse.ArgumentParser, required: bool = False) -> None:
+    subparser.add_argument(
+        "--plan-store",
+        default=None,
+        required=required,
+        metavar="DIR",
+        help=(
+            "directory of the persistent compiled-plan store shared across "
+            "processes and runs (created if absent)"
+        ),
     )
 
 
@@ -129,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
             "broadcast/collective schedules, auto = pick by schedule shape)"
         ),
     )
+    _add_plan_store_flag(route)
     _add_format_flag(route)
 
     sweep = subparsers.add_parser(
@@ -175,9 +202,82 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--cache-stats",
         action="store_true",
-        help="report compiled-schedule cache hits/misses in the sweep notes",
+        help=(
+            "report compiled-schedule cache counters in the sweep notes "
+            "(memory and disk tiers reported separately with --plan-store)"
+        ),
     )
+    _add_plan_store_flag(sweep)
     _add_format_flag(sweep)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="manage the persistent compiled-plan store (stats/warm/gc/verify)",
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_commands.add_parser(
+        "stats",
+        help=(
+            "blob count, byte total and cumulative disk hit/miss counters "
+            "aggregated over every process that used the store"
+        ),
+    )
+    _add_plan_store_flag(cache_stats, required=True)
+    _add_format_flag(cache_stats)
+
+    cache_warm = cache_commands.add_parser(
+        "warm",
+        help=(
+            "pre-populate the store by routing the Theorem 2 sweep "
+            "permutations for the given configs/seed into it"
+        ),
+    )
+    _add_plan_store_flag(cache_warm, required=True)
+    cache_warm.add_argument(
+        "--configs",
+        type=_parse_sweep_configs,
+        default=None,
+        help="comma-separated d:g pairs (e.g. 8:4,16:4); default: the E1 sweep",
+    )
+    cache_warm.add_argument("--trials", type=int, default=3, help="trials per configuration")
+    cache_warm.add_argument("--seed", type=int, default=2002, help="RNG seed")
+    cache_warm.add_argument(
+        "--backend",
+        choices=ROUTER_BACKENDS.names(),
+        default="konig",
+        help="edge-colouring backend for the fair distribution",
+    )
+    cache_warm.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (default 0 = serial)",
+    )
+    _add_format_flag(cache_warm)
+
+    cache_gc = cache_commands.add_parser(
+        "gc", help="delete oldest blobs until the store fits a byte budget"
+    )
+    _add_plan_store_flag(cache_gc, required=True)
+    cache_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        metavar="N",
+        help="byte budget the store must fit after collection",
+    )
+    _add_format_flag(cache_gc)
+
+    cache_verify = cache_commands.add_parser(
+        "verify",
+        help=(
+            "open and checksum every blob, quarantining corrupt ones "
+            "(exit 1 if any blob failed)"
+        ),
+    )
+    _add_plan_store_flag(cache_verify, required=True)
+    _add_format_flag(cache_verify)
 
     subparsers.add_parser("list", help="list experiments and permutation families")
     return parser
@@ -276,6 +376,70 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0 if result.all_pass else 1
 
 
+def _print_store_summary(stats: dict[str, object]) -> None:
+    for name, value in stats.items():
+        print(f"{name:<19}: {value}")
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    """The ``pops-repro cache`` store-management subcommands."""
+    from repro.pops.plan_store import PlanStore
+
+    if args.cache_command == "warm":
+        config = RunConfig(
+            router_backend=args.backend,
+            sim_backend="batched",
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            plan_store_path=args.plan_store,
+        )
+        session = Session(config)
+        store = session.cache.store
+        before = store.stats()
+        result = session.sweep(args.configs)
+        after = store.stats()
+        payload = {
+            "path": after["path"],
+            "written": after["writes"] - before["writes"],
+            "disk_hits": after["disk_hits"] - before["disk_hits"],
+            "entries": after["entries"],
+            "total_bytes": after["total_bytes"],
+            "all_pass": result.all_pass,
+        }
+        if args.format == "json":
+            _print_json(payload)
+        else:
+            _print_store_summary(payload)
+        return 0 if result.all_pass else 1
+
+    store = PlanStore(args.plan_store)
+    if args.cache_command == "stats":
+        payload = store.stats()
+        if args.format == "json":
+            _print_json(payload)
+        else:
+            _print_store_summary(payload)
+        return 0
+    if args.cache_command == "gc":
+        if args.max_bytes < 0:
+            print("--max-bytes must be >= 0", file=sys.stderr)
+            return 2
+        payload = {"path": str(store.path), **store.gc(args.max_bytes)}
+        if args.format == "json":
+            _print_json(payload)
+        else:
+            _print_store_summary(payload)
+        return 0
+    # verify
+    payload = {"path": str(store.path), **store.verify()}
+    if args.format == "json":
+        _print_json(payload)
+    else:
+        _print_store_summary(payload)
+    return 0 if payload["quarantined"] == 0 else 1
+
+
 def _command_list() -> int:
     print("experiments:")
     for experiment_id in sorted(EXPERIMENTS.names()):
@@ -301,6 +465,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_route(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "cache":
+            return _command_cache(args)
         if args.command == "list":
             return _command_list()
     except BrokenPipeError:

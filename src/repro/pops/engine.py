@@ -41,7 +41,7 @@ message.
 
 from __future__ import annotations
 
-from collections.abc import Hashable
+from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -79,7 +79,9 @@ class CompiledSchedule:
     network:
         The network the schedule targets.
     packets:
-        The packet universe; array entries index into this list.
+        The packet universe; array entries index into this sequence (a
+        plain list when lowered in-process, a lazily materialized sequence
+        when loaded from the persistent plan store).
     tx_sender / tx_packet / tx_ptr:
         Per-slot transmissions, for the dynamic ownership check.
     pay_coupler / pay_packet / pay_ptr:
@@ -100,7 +102,7 @@ class CompiledSchedule:
     """
 
     network: POPSNetwork
-    packets: list[Packet]
+    packets: Sequence[Packet]
     n_slots: int
     tx_sender: np.ndarray
     tx_packet: np.ndarray
@@ -254,19 +256,36 @@ class ScheduleCache:
     misses; ``pops-repro sweep --cache-stats`` surfaces the counters.
     Compiled schedules are immutable after compilation, so sharing one object
     between executions is safe (``execute`` copies the location array).
+
+    ``store`` attaches a second, *persistent* tier — a
+    :class:`~repro.pops.plan_store.PlanStore` probed on every memory miss
+    and written through on every fill.  A disk hit promotes the plan into
+    the memory tier and is counted separately (``disk_hits`` — the ``hits``
+    counter stays memory-only, ``misses`` means both tiers missed), so
+    ``--cache-stats`` can distinguish "warm in this process" from "warm on
+    disk from another process or an earlier run".  Without a store the
+    cache behaves — and reports — exactly as before.
     """
 
-    def __init__(self, max_entries: int = 64, max_bytes: int = 128 * 1024 * 1024):
+    def __init__(
+        self,
+        max_entries: int = 64,
+        max_bytes: int = 128 * 1024 * 1024,
+        store=None,
+    ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.store = store
         self._entries: dict[Hashable, CompiledSchedule | CompiledScheduleBatch] = {}
         self._total_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -277,13 +296,26 @@ class ScheduleCache:
         return self._total_bytes
 
     def get(self, key: Hashable) -> CompiledSchedule | CompiledScheduleBatch | None:
-        """Look up ``key``, counting the access as a hit or a miss."""
+        """Look up ``key``, counting the access as a hit or a miss.
+
+        Memory first; on a memory miss an attached persistent store is
+        probed, and a disk hit is promoted into the memory tier (without a
+        write-back — the blob is already on disk).  ``misses`` counts only
+        accesses both tiers missed.
+        """
         compiled = self._entries.get(key)
-        if compiled is None:
-            self.misses += 1
-        else:
+        if compiled is not None:
             self.hits += 1
-        return compiled
+            return compiled
+        if self.store is not None:
+            compiled = self.store.get(key)
+            if compiled is not None:
+                self.disk_hits += 1
+                self._put_memory(key, compiled)
+                return compiled
+            self.disk_misses += 1
+        self.misses += 1
+        return None
 
     def peek(self, key: Hashable) -> CompiledSchedule | CompiledScheduleBatch | None:
         """Look up ``key`` without touching the hit/miss counters.
@@ -298,8 +330,20 @@ class ScheduleCache:
     def put(self, key: Hashable, compiled: CompiledSchedule | CompiledScheduleBatch) -> None:
         """Store ``compiled`` under ``key``, FIFO-evicting until within bounds.
 
-        A schedule larger than ``max_bytes`` on its own is not cached at all.
+        A schedule larger than ``max_bytes`` on its own is not cached at all
+        in memory; with a persistent store attached the plan is still
+        written through to disk (the disk tier has its own budget policy),
+        so later processes can warm-start even from plans this process's
+        memory bounds rejected.
         """
+        if self.store is not None:
+            self.store.put(key, compiled)
+        self._put_memory(key, compiled)
+
+    def _put_memory(
+        self, key: Hashable, compiled: CompiledSchedule | CompiledScheduleBatch
+    ) -> None:
+        """The memory-tier insert (no write-through); FIFO-evicts to bounds."""
         nbytes = compiled.nbytes
         if nbytes > self.max_bytes:
             return
@@ -316,15 +360,32 @@ class ScheduleCache:
         self._total_bytes += nbytes
 
     def stats(self) -> dict[str, int]:
-        """Counters as a plain dict: ``hits``, ``misses``, ``entries``."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        """Counters as a plain dict: ``hits``, ``misses``, ``entries``.
+
+        With a persistent store attached, ``disk_hits`` / ``disk_misses``
+        are reported as *separate* keys (``hits`` stays memory-only; the
+        tiers are never summed), so consumers can tell a warm process from
+        a warm disk.  Without a store the dict keeps its historical
+        three-key shape exactly.
+        """
+        stats = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+        if self.store is not None:
+            stats["disk_hits"] = self.disk_hits
+            stats["disk_misses"] = self.disk_misses
+        return stats
 
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all memory entries and reset the counters (disk untouched)."""
         self._entries.clear()
         self._total_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
 
 
 #: Process-wide default cache; worker processes each hold their own instance.
