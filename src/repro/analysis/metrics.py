@@ -139,6 +139,7 @@ def _measure_routing_batch(
     sim_backend: str = "reference",
     use_cache: bool = True,
     cache: ScheduleCache | None = None,
+    prefer_batch: bool | None = None,
 ) -> list[RoutingMetrics]:
     """Batched :func:`_measure_routing` over a ``(B, n)`` permutation stack.
 
@@ -150,12 +151,23 @@ def _measure_routing_batch(
     function is safe for any registered backend; only the batched path changes
     cache granularity (one batch-level entry under
     :func:`routing_cache_key_batch` instead of ``B`` per-permutation entries).
+
+    ``prefer_batch`` overrides the batch-dispatch shape heuristic: by default
+    (``None``) ``d < g`` stacks take the per-element fast path even on the
+    batched engines, because the batched plan builders pad every element's
+    round structure to the worst case and measurably *lose* to the loop there
+    (0.8x at ``d = 16, g = 64``; the two paths are bit-identical, so dispatch
+    is purely a performance decision, pinned in ``tests/test_megabatch.py``).
+    Pass ``True``/``False`` to force a path regardless of shape.
     """
     from repro.routing.lower_bounds import best_known_lower_bound_stack
     from repro.utils.validation import check_permutation_stack
 
     images = check_permutation_stack(pis, network.n)
-    if sim_backend not in ("batched", "auto"):
+    batch_pays_off = (
+        prefer_batch if prefer_batch is not None else network.d >= network.g
+    )
+    if sim_backend not in ("batched", "auto") or not batch_pays_off:
         return [
             _measure_routing(
                 network,

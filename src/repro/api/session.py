@@ -189,6 +189,11 @@ class Session:
         the method is safe under any configured backend.  Configuration
         (router backend, engine, cache policy) comes from the session; on the
         batched path the cache holds one batch-level entry per stack.
+
+        Dispatch is shape-aware: ``d < g`` stacks take the per-element fast
+        path even on the batched engines, where the padded batch plan
+        builders measurably lose to the loop (bit-identical results either
+        way — see ``_measure_routing_batch``).
         """
         from repro.analysis.metrics import _measure_routing_batch
 

@@ -55,6 +55,14 @@ restored from cache, a future serving daemon starting warm)::
 
     pops-repro sweep --configs 64:64 --trials 8 --plan-store .plan-store
 
+Serve live route requests from one warm session, dynamically batching
+concurrent same-shape requests onto the megabatch kernels (SIGTERM drains
+in-flight batches and exits; ``stats`` requests report per-stage latency
+percentiles, routes/sec and the batch-size histogram)::
+
+    pops-repro serve --port 8472 --plan-store .plan-store \\
+        --batch-window-ms 2 --max-batch 64
+
 Inspect, pre-warm, garbage-collect or integrity-check that store::
 
     pops-repro cache stats --plan-store .plan-store --format json
@@ -209,6 +217,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_plan_store_flag(sweep)
     _add_format_flag(sweep)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "long-lived routing daemon: concurrent route requests over a "
+            "local socket, dynamically batched onto the megabatch kernels"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = pick an ephemeral port)"
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the bound port number to PATH once listening (for "
+            "scripts starting the daemon with --port 0)"
+        ),
+    )
+    serve.add_argument(
+        "--backend",
+        choices=ROUTER_BACKENDS.names(),
+        default="euler-array",
+        help="edge-colouring backend requests use unless they name one",
+    )
+    serve.add_argument(
+        "--sim-backend",
+        choices=SIM_ENGINES.names(),
+        default="batched",
+        help="simulator engine (batched = the megabatch fast path)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help=(
+            "dynamic-batching window: how long to hold a request waiting "
+            "for same-shape company (0 disables coalescing)"
+        ),
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="B",
+        help="close a batch early once this many requests coalesced",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        metavar="N",
+        help=(
+            "bound of the request queue; beyond it requests are shed with "
+            "an explicit queue-full response"
+        ),
+    )
+    _add_plan_store_flag(serve)
+    _add_format_flag(serve)
 
     cache = subparsers.add_parser(
         "cache",
@@ -376,6 +446,71 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0 if result.all_pass else 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the serving daemon until SIGTERM/SIGINT, then drain and report."""
+    import signal
+    import threading
+
+    from repro.serve.daemon import ServeDaemon
+
+    config = RunConfig(
+        router_backend=args.backend,
+        sim_backend=args.sim_backend,
+        plan_store_path=args.plan_store,
+    )
+    try:
+        daemon = ServeDaemon(
+            config,
+            host=args.host,
+            port=args.port,
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+        )
+        host, port = daemon.start()
+    except (OSError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    if args.port_file:
+        # Write-then-rename so a polling starter never reads a torn file.
+        tmp_path = f"{args.port_file}.tmp"
+        with open(tmp_path, "w") as fh:
+            fh.write(f"{port}\n")
+        os.replace(tmp_path, args.port_file)
+    if args.format == "json":
+        print(json.dumps({"listening": {"host": host, "port": port}}), flush=True)
+    else:
+        print(f"listening on {host}:{port} (SIGTERM drains and exits)", flush=True)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    stop.wait()
+    # Drain: every request accepted before the signal still gets a response.
+    daemon.shutdown(drain=True)
+    stats = daemon.stats()
+    if args.format == "json":
+        _print_json(stats)
+    else:
+        telemetry = stats["telemetry"]
+        route_stage = telemetry["stages"]["route"]
+        print("serve session summary")
+        print(f"requests           : {telemetry['requests']}")
+        print(f"responses          : {telemetry['responses']}")
+        print(f"shed (queue-full)  : {telemetry['shed']}")
+        print(f"batched requests   : {telemetry['batched_requests']}")
+        print(f"routes/sec         : {telemetry['routes_per_second']:.1f}")
+        print(
+            f"route stage        : p50 {route_stage['p50_ms']:.2f} ms, "
+            f"p99 {route_stage['p99_ms']:.2f} ms"
+        )
+    return 0
+
+
 def _print_store_summary(stats: dict[str, object]) -> None:
     for name, value in stats.items():
         print(f"{name:<19}: {value}")
@@ -465,6 +600,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_route(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "serve":
+            return _command_serve(args)
         if args.command == "cache":
             return _command_cache(args)
         if args.command == "list":

@@ -1,0 +1,147 @@
+"""`ServeClient`: the blocking client of the serving daemon.
+
+A thin, dependency-free wrapper over one socket speaking the protocol of
+:mod:`repro.serve.protocol`.  Responses are surfaced as real objects — a
+:class:`RouteOutcome` carries the reconstructed
+:class:`~repro.analysis.metrics.RoutingMetrics` (identical, field for field,
+to what :meth:`Session.route <repro.api.session.Session.route>` returns for
+the same permutation, because the daemon computes exactly that) plus the
+``batch_size`` its request was coalesced at.  Structured daemon errors raise
+:class:`ServeError` with the protocol's machine-readable ``code``.
+
+The client is deliberately synchronous and single-connection: concurrency in
+the serving layer comes from many clients (or the load generator's worker
+pool), not from multiplexing one.  One client must not be shared across
+threads.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.metrics import RoutingMetrics
+from repro.serve import protocol
+
+__all__ = ["RouteOutcome", "ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A structured error response from the daemon.
+
+    ``code`` is one of the ``repro.serve.protocol.ERR_*`` constants — match
+    on it, not on the human-readable message.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class RouteOutcome:
+    """One answered route request."""
+
+    metrics: RoutingMetrics   # identical to a local Session.route
+    batch_size: int           # peers sharing the kernel call (1 = single path)
+    raw: dict[str, Any]       # the full response payload
+
+
+#: RoutingMetrics constructor fields, as serialised by ``to_dict`` (the
+#: derived properties in the payload are recomputed by the dataclass).
+_METRIC_FIELDS = (
+    "d", "g", "n", "slots", "theorem2_bound", "lower_bound",
+    "couplers_used_total", "mean_coupler_utilisation",
+)
+
+
+class ServeClient:
+    """Blocking client for one ``pops-repro serve`` daemon.
+
+    Usable as a context manager; ``timeout`` (seconds) bounds every socket
+    operation (``None`` = wait forever, the default — a draining daemon may
+    legitimately take a while to answer the last requests).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float | None = None):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request primitives --------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request frame, await one response frame.
+
+        Raises :class:`ServeError` on a structured daemon error and
+        ``ConnectionError`` when the daemon hung up without answering.
+        """
+        protocol.send_frame(self._sock, payload)
+        response = protocol.recv_frame(self._sock)
+        if response is None:
+            raise ConnectionError("daemon closed the connection without answering")
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                error.get("code", protocol.ERR_INTERNAL),
+                error.get("message", "unspecified error"),
+            )
+        return response
+
+    # -- operations ----------------------------------------------------------
+
+    def route(
+        self,
+        pi,
+        *,
+        d: int,
+        g: int,
+        backend: str | None = None,
+    ) -> RouteOutcome:
+        """Route one permutation on the daemon; blocks until answered.
+
+        ``pi`` is any int sequence (list or numpy array).  The returned
+        outcome's ``metrics`` equals the daemon session's ``route(pi)``
+        bit-for-bit; ``batch_size`` reports how many concurrent requests the
+        dynamic batcher coalesced this one with (1 = routed alone).
+        """
+        images = np.asarray(pi, dtype=np.int64)
+        payload: dict[str, Any] = {
+            "op": "route",
+            "pi": [int(x) for x in images],
+            "d": int(d),
+            "g": int(g),
+        }
+        if backend is not None:
+            payload["backend"] = backend
+        response = self.request(payload)
+        reported = response["metrics"]
+        metrics = RoutingMetrics(**{name: reported[name] for name in _METRIC_FIELDS})
+        return RouteOutcome(
+            metrics=metrics,
+            batch_size=int(response["batch_size"]),
+            raw=response,
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """The daemon's ``stats`` payload: telemetry, cache, store, knobs."""
+        return self.request({"op": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return bool(self.request({"op": "ping"}).get("pong"))

@@ -1,0 +1,218 @@
+"""Open-loop Poisson load generation against a serving daemon.
+
+The load model is the classic open-loop one (the simpy traffic generators in
+SNIPPETS.md use the same shape): request arrival times are drawn from a
+Poisson process of a configured rate *in advance*, and each request is fired
+at its scheduled wall-clock instant regardless of how the previous ones are
+doing.  Unlike closed-loop clients — which slow their offered load to match
+a struggling server and so hide saturation — an open-loop generator keeps
+offering, which is what exposes queueing, shedding, and the throughput
+ceiling the ``bench_serve.py`` floor is about.
+
+Mechanics: arrivals are pre-drawn (inter-arrival gaps ``Exponential(1/rate)``,
+one fresh random permutation per request), dealt round-robin to a pool of
+worker threads each owning one :class:`~repro.serve.client.ServeClient`
+connection, and released against a shared start instant.  Per-request
+client-side latency (send to response) is recorded; shed requests
+(``queue-full``) and errors are counted separately from completions.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.serve.client import ServeClient, ServeError
+
+__all__ = ["LoadReport", "run_poisson_load", "sweep_rates"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Summary of one open-loop load run."""
+
+    d: int
+    g: int
+    n: int
+    rate: float                      # offered arrival rate (requests/sec)
+    n_requests: int
+    completed: int
+    shed: int                        # explicit queue-full responses
+    errors: int                      # any other failure
+    duration_seconds: float          # first release to last completion
+    achieved_routes_per_second: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    max_batch_size_seen: int         # largest coalesced batch any request rode
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "d": self.d, "g": self.g, "n": self.n,
+            "rate": self.rate,
+            "n_requests": self.n_requests,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "duration_seconds": self.duration_seconds,
+            "achieved_routes_per_second": self.achieved_routes_per_second,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "max_batch_size_seen": self.max_batch_size_seen,
+        }
+
+
+def _draw_workload(
+    rate: float, n_requests: int, n: int, seed: int
+) -> tuple[list[float], list[np.ndarray]]:
+    """Arrival instants (seconds from start) and fresh permutations."""
+    gaps = random.Random(seed)
+    arrivals: list[float] = []
+    t = 0.0
+    for _ in range(n_requests):
+        t += gaps.expovariate(rate)
+        arrivals.append(t)
+    rng = np.random.default_rng(seed)
+    pis = [rng.permutation(n).astype(np.int64) for _ in range(n_requests)]
+    return arrivals, pis
+
+
+def run_poisson_load(
+    host: str,
+    port: int,
+    *,
+    rate: float,
+    n_requests: int,
+    d: int,
+    g: int,
+    seed: int = 2002,
+    connections: int = 8,
+    backend: str | None = None,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """Fire ``n_requests`` at Poisson ``rate`` (req/sec) against the daemon.
+
+    ``connections`` worker threads each hold one client connection and fire
+    the requests dealt to them at their pre-drawn arrival instants.  Returns
+    the aggregated :class:`LoadReport`; raises only on setup failures —
+    per-request errors are counted, not raised.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    connections = max(1, min(connections, n_requests))
+    n = d * g
+    arrivals, pis = _draw_workload(rate, n_requests, n, seed)
+    assignments: list[list[int]] = [[] for _ in range(connections)]
+    for index in range(n_requests):
+        assignments[index % connections].append(index)
+
+    latencies: list[list[float]] = [[] for _ in range(connections)]
+    batch_sizes: list[int] = [1] * connections
+    shed = [0] * connections
+    errors = [0] * connections
+    last_done = [0.0] * connections
+    barrier = threading.Barrier(connections + 1)
+
+    def worker(worker_id: int, t0_holder: list[float]) -> None:
+        try:
+            client = ServeClient(host, port, timeout=timeout)
+        except OSError:
+            errors[worker_id] += len(assignments[worker_id])
+            barrier.wait()
+            return
+        try:
+            barrier.wait()
+            t0 = t0_holder[0]
+            for index in assignments[worker_id]:
+                delay = t0 + arrivals[index] - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                t_send = time.perf_counter()
+                try:
+                    outcome = client.route(pis[index], d=d, g=g, backend=backend)
+                except ServeError as exc:
+                    if exc.code == "queue-full":
+                        shed[worker_id] += 1
+                    else:
+                        errors[worker_id] += 1
+                    continue
+                except (OSError, ConnectionError):
+                    errors[worker_id] += 1
+                    return  # connection is gone; remaining requests are lost
+                t_done = time.perf_counter()
+                latencies[worker_id].append(t_done - t_send)
+                last_done[worker_id] = max(last_done[worker_id], t_done)
+                batch_sizes[worker_id] = max(
+                    batch_sizes[worker_id], outcome.batch_size
+                )
+        finally:
+            client.close()
+
+    t0_holder = [0.0]
+    threads = [
+        threading.Thread(
+            target=worker, args=(i, t0_holder), name=f"loadgen-{i}", daemon=True
+        )
+        for i in range(connections)
+    ]
+    for thread in threads:
+        thread.start()
+    t0_holder[0] = time.perf_counter() + 0.01  # released a beat after the barrier
+    barrier.wait()
+    for thread in threads:
+        thread.join(timeout=timeout + arrivals[-1] + 5.0)
+
+    all_latencies = [lat for bucket in latencies for lat in bucket]
+    completed = len(all_latencies)
+    t0 = t0_holder[0]
+    duration = max((t for t in last_done if t > 0.0), default=t0) - t0
+    if all_latencies:
+        values = np.asarray(all_latencies)
+        p50, p95, p99 = np.percentile(values, (50, 95, 99))
+        mean = float(values.mean())
+    else:
+        p50 = p95 = p99 = mean = 0.0
+    return LoadReport(
+        d=d, g=g, n=n,
+        rate=rate,
+        n_requests=n_requests,
+        completed=completed,
+        shed=sum(shed),
+        errors=sum(errors),
+        duration_seconds=max(duration, 1e-9),
+        achieved_routes_per_second=completed / max(duration, 1e-9),
+        latency_p50_ms=float(p50) * 1e3,
+        latency_p95_ms=float(p95) * 1e3,
+        latency_p99_ms=float(p99) * 1e3,
+        latency_mean_ms=mean * 1e3,
+        max_batch_size_seen=max(batch_sizes),
+    )
+
+
+def sweep_rates(
+    host: str,
+    port: int,
+    *,
+    rates,
+    n_requests: int,
+    d: int,
+    g: int,
+    **kwargs: Any,
+) -> list[LoadReport]:
+    """One :func:`run_poisson_load` per rate, in order — the arrival-rate sweep."""
+    return [
+        run_poisson_load(
+            host, port, rate=rate, n_requests=n_requests, d=d, g=g, **kwargs
+        )
+        for rate in rates
+    ]

@@ -1,0 +1,134 @@
+"""Latency and throughput accounting for the serving daemon.
+
+Every request is timed through four stages, named from the request's point
+of view:
+
+* ``queue_wait`` — submitted to the batcher until the worker popped it;
+* ``batch_assembly`` — popped until its batch closed and routing began (the
+  time spent waiting for same-shape peers inside the batching window);
+* ``route`` — the ``Session.route`` / ``route_batch`` call itself;
+* ``respond`` — serialising and writing the response frame.
+
+The daemon records durations here from its handler and batcher threads; the
+``stats`` request serialises :meth:`ServeTelemetry.snapshot`, which reduces
+the samples to p50/p95/p99 percentiles (milliseconds), overall routes/sec,
+and the batch-size histogram that shows dynamic batching actually coalescing
+(every entry at size >= 2 is a megabatch kernel call that replaced that many
+single routes).
+
+Samples are kept in bounded deques (:data:`MAX_SAMPLES` most recent per
+stage) so a long-lived daemon's telemetry cannot grow without bound; the
+counters are cumulative for the whole process lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ServeTelemetry", "STAGES", "MAX_SAMPLES"]
+
+#: Stage names, in pipeline order.
+STAGES: tuple[str, ...] = ("queue_wait", "batch_assembly", "route", "respond")
+
+#: Most recent duration samples kept per stage.
+MAX_SAMPLES = 100_000
+
+#: Percentiles reported per stage.
+_PERCENTILES: tuple[int, ...] = (50, 95, 99)
+
+
+class ServeTelemetry:
+    """Thread-safe request/latency/batch accounting for one daemon."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self._samples: dict[str, deque[float]] = {
+            stage: deque(maxlen=MAX_SAMPLES) for stage in STAGES
+        }
+        self._batch_sizes: Counter[int] = Counter()
+        self.requests = 0          # route requests accepted off the wire
+        self.responses = 0         # route responses successfully written
+        self.shed = 0              # rejected with queue-full
+        self.errors: Counter[str] = Counter()  # error responses by code
+
+    # -- recording (hot path: one lock acquisition per call) ---------------
+
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_response(self, stage_seconds: dict[str, float]) -> None:
+        """One route request answered; ``stage_seconds`` maps stage -> duration."""
+        with self._lock:
+            self.responses += 1
+            for stage, seconds in stage_seconds.items():
+                self._samples[stage].append(seconds)
+
+    def record_batch(self, size: int) -> None:
+        """One routing call dispatched covering ``size`` coalesced requests."""
+        with self._lock:
+            self._batch_sizes[size] += 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+            self.errors["queue-full"] += 1
+
+    def record_error(self, code: str) -> None:
+        with self._lock:
+            self.errors[code] += 1
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """All counters plus per-stage percentiles, JSON-ready.
+
+        ``stages`` maps each stage to ``{"count", "p50_ms", "p95_ms",
+        "p99_ms", "mean_ms"}`` (zeros when no samples yet);
+        ``batch_size_histogram`` maps batch size (as a string, JSON objects
+        have string keys) to how many routing calls dispatched at that size;
+        ``batched_requests`` counts requests that shared their kernel call
+        with at least one peer; ``routes_per_second`` is responses over
+        uptime — the sustained rate since the daemon started.
+        """
+        with self._lock:
+            uptime = time.perf_counter() - self._started
+            stages: dict[str, dict[str, float]] = {}
+            for stage in STAGES:
+                samples = self._samples[stage]
+                if samples:
+                    values = np.fromiter(samples, dtype=np.float64, count=len(samples))
+                    pcts = np.percentile(values, _PERCENTILES)
+                    stages[stage] = {
+                        "count": len(samples),
+                        "p50_ms": float(pcts[0]) * 1e3,
+                        "p95_ms": float(pcts[1]) * 1e3,
+                        "p99_ms": float(pcts[2]) * 1e3,
+                        "mean_ms": float(values.mean()) * 1e3,
+                    }
+                else:
+                    stages[stage] = {
+                        "count": 0, "p50_ms": 0.0, "p95_ms": 0.0,
+                        "p99_ms": 0.0, "mean_ms": 0.0,
+                    }
+            histogram = {str(size): count for size, count in sorted(self._batch_sizes.items())}
+            batched = sum(
+                size * count for size, count in self._batch_sizes.items() if size > 1
+            )
+            return {
+                "uptime_seconds": uptime,
+                "requests": self.requests,
+                "responses": self.responses,
+                "shed": self.shed,
+                "errors": dict(self.errors),
+                "routes_per_second": self.responses / uptime if uptime > 0 else 0.0,
+                "batch_size_histogram": histogram,
+                "batched_requests": batched,
+                "stages": stages,
+            }

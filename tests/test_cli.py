@@ -41,6 +41,21 @@ class TestParser:
         assert args.workers is None
         assert args.configs is None
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.backend == "euler-array"
+        assert args.sim_backend == "batched"
+        assert args.batch_window_ms == 2.0
+        assert args.max_batch == 64
+        assert args.max_queue == 1024
+        assert args.port_file is None
+
+    def test_serve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "quantum"])
+
 
 class TestCommands:
     def test_list_command(self, capsys):
@@ -134,6 +149,25 @@ class TestJsonFormat:
         payload = json.loads(capsys.readouterr().out)
         assert payload["experiment_id"] == "E2"
         assert payload["all_pass"] is True
+
+    def test_cache_stats_json(self, tmp_path, capsys):
+        # Machine-readable store statistics (ISSUE 8 satellite): warm a tiny
+        # store, then `cache stats --format json` must emit one JSON document
+        # with the full counter set.
+        store = str(tmp_path / "plans")
+        assert main(
+            ["cache", "warm", "--plan-store", store, "--configs", "2:2",
+             "--trials", "1", "--workers", "0", "--format", "json"]
+        ) == 0
+        warm_payload = json.loads(capsys.readouterr().out)
+        assert warm_payload["written"] >= 1
+        assert main(["cache", "stats", "--plan-store", store, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for key in ("path", "entries", "total_bytes", "disk_hits",
+                    "disk_misses", "writes", "quarantined"):
+            assert key in payload, key
+        assert payload["entries"] == warm_payload["entries"] >= 1
+        assert payload["writes"] >= 1
 
 
 class TestCliUsesOnlyTheSessionLayer:

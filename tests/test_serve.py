@@ -1,0 +1,557 @@
+"""The serving layer: protocol, dynamic batching, backpressure, shutdown.
+
+Pins the ISSUE 8 contract:
+
+* the wire protocol survives its edge cases — oversized frames are refused
+  with a structured error (then the connection closes, the only safe
+  resynchronisation), malformed JSON gets a structured error on a still-live
+  connection, truncation raises instead of masquerading as a clean EOF;
+* responses are bit-identical to a local ``Session.route`` — dynamic
+  batching is invisible except in the ``batch_size`` field;
+* concurrent same-shape requests coalesce into one megabatch kernel call;
+  mismatched shapes fall through to the single-request path;
+* the bounded queue sheds with an explicit ``queue-full`` response;
+* a client disconnecting mid-batch never poisons its batch peers;
+* shutdown drains: every request accepted before the signal is answered
+  (in-process ``shutdown(drain=True)`` and the CLI's SIGTERM path both).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import RoutingMetrics
+from repro.api import RunConfig, Session
+from repro.serve import ServeClient, ServeDaemon, ServeError, run_poisson_load
+from repro.serve import protocol
+from repro.serve.batcher import DynamicBatcher, QueueFullError
+from repro.serve.telemetry import ServeTelemetry
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.005) -> None:
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not reached before timeout")
+
+
+def random_pis(n: int, count: int, seed: int = 7) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.permutation(n).astype(np.int64) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# protocol
+
+
+class TestProtocol:
+    def test_round_trip_and_clean_eof(self):
+        a, b = socket.socketpair()
+        with a, b:
+            protocol.send_frame(a, {"op": "ping", "x": [1, 2, 3]})
+            assert protocol.recv_frame(b) == {"op": "ping", "x": [1, 2, 3]}
+            a.close()
+            assert protocol.recv_frame(b) is None
+
+    def test_oversized_announcement_raises(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+            with pytest.raises(protocol.FrameTooLargeError):
+                protocol.recv_frame(b)
+
+    def test_send_refuses_oversized_payload(self):
+        a, b = socket.socketpair()
+        with a, b:
+            with pytest.raises(protocol.FrameTooLargeError):
+                protocol.send_frame(a, {"blob": "x" * (protocol.MAX_FRAME_BYTES + 1)})
+
+    @pytest.mark.parametrize("body", [b"{not json", b"[1, 2]", b"42"])
+    def test_malformed_payload_raises_but_keeps_stream_aligned(self, body):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(protocol.MalformedFrameError):
+                protocol.recv_frame(b)
+            # The malformed frame was consumed exactly; the next frame parses.
+            protocol.send_frame(a, {"op": "ping"})
+            assert protocol.recv_frame(b) == {"op": "ping"}
+
+    def test_truncation_mid_frame_is_not_a_clean_eof(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(struct.pack(">I", 100) + b"partial")
+            a.close()
+            with pytest.raises(ConnectionResetError):
+                protocol.recv_frame(b)
+
+
+# ---------------------------------------------------------------------------
+# routing via the daemon
+
+
+class TestRouteRequests:
+    def test_metrics_bit_identical_to_local_session(self):
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            local = Session(
+                RunConfig(router_backend="euler-array", sim_backend="batched")
+            )
+            with ServeClient(*daemon.address) as client:
+                for pi in random_pis(32, 3):
+                    outcome = client.route(pi, d=8, g=4)
+                    expected = local.route(pi, d=8, g=4)
+                    assert outcome.metrics == expected
+                    assert isinstance(outcome.metrics, RoutingMetrics)
+                    assert outcome.batch_size == 1
+
+    def test_backend_override_per_request(self):
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            local = Session(RunConfig(router_backend="konig", sim_backend="batched"))
+            with ServeClient(*daemon.address) as client:
+                pi = random_pis(16, 1)[0]
+                outcome = client.route(pi, d=4, g=4, backend="konig")
+                assert outcome.metrics == local.route(pi, d=4, g=4)
+
+    def test_concurrent_same_shape_requests_coalesce(self):
+        n_clients = 4
+        with ServeDaemon(batch_window_ms=250.0, max_batch=n_clients) as daemon:
+            host, port = daemon.address
+            pis = random_pis(32, n_clients)
+            outcomes = [None] * n_clients
+
+            def go(i):
+                with ServeClient(host, port) as client:
+                    outcomes[i] = client.route(pis[i], d=8, g=4)
+
+            threads = [
+                threading.Thread(target=go, args=(i,)) for i in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+
+            local = Session(
+                RunConfig(router_backend="euler-array", sim_backend="batched")
+            )
+            for i, outcome in enumerate(outcomes):
+                assert outcome is not None
+                assert outcome.batch_size == n_clients
+                assert outcome.metrics == local.route(pis[i], d=8, g=4)
+            with ServeClient(host, port) as client:
+                histogram = client.stats()["telemetry"]["batch_size_histogram"]
+            assert histogram.get(str(n_clients)) == 1
+
+    def test_mismatched_shapes_fall_through_to_single_path(self):
+        with ServeDaemon(batch_window_ms=250.0) as daemon:
+            host, port = daemon.address
+            outcomes = [None, None]
+            requests = [(random_pis(32, 1)[0], 8, 4), (random_pis(16, 1, seed=3)[0], 4, 4)]
+
+            def go(i):
+                pi, d, g = requests[i]
+                with ServeClient(host, port) as client:
+                    outcomes[i] = client.route(pi, d=d, g=g)
+
+            threads = [threading.Thread(target=go, args=(i,)) for i in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert all(outcome is not None for outcome in outcomes)
+            assert [outcome.batch_size for outcome in outcomes] == [1, 1]
+            assert outcomes[0].metrics.n == 32
+            assert outcomes[1].metrics.n == 16
+
+
+# ---------------------------------------------------------------------------
+# protocol edge cases against the live daemon
+
+
+class TestDaemonProtocolEdges:
+    def _raw_connection(self, daemon) -> socket.socket:
+        conn = socket.create_connection(daemon.address, timeout=5.0)
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def test_malformed_json_gets_structured_error_and_connection_survives(self):
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            with self._raw_connection(daemon) as conn:
+                body = b"{definitely not json"
+                conn.sendall(struct.pack(">I", len(body)) + body)
+                response = protocol.recv_frame(conn)
+                assert response["ok"] is False
+                assert response["error"]["code"] == protocol.ERR_MALFORMED_JSON
+                # Connection still usable afterwards.
+                protocol.send_frame(conn, {"op": "ping"})
+                assert protocol.recv_frame(conn)["ok"] is True
+
+    def test_oversized_frame_rejected_then_connection_closed(self):
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            with self._raw_connection(daemon) as conn:
+                conn.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+                response = protocol.recv_frame(conn)
+                assert response["ok"] is False
+                assert response["error"]["code"] == protocol.ERR_OVERSIZED_FRAME
+                # The daemon cannot resynchronise: it must hang up.
+                assert protocol.recv_frame(conn) is None
+
+    def test_unknown_op_and_bad_requests(self):
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            with ServeClient(*daemon.address) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.request({"op": "make-coffee"})
+                assert excinfo.value.code == protocol.ERR_UNKNOWN_OP
+
+                cases = [
+                    {"op": "route", "pi": [0, 1], "d": 2, "g": 2},     # wrong length
+                    {"op": "route", "pi": [0, 0, 1, 1], "d": 2, "g": 2},  # not a permutation
+                    {"op": "route", "pi": "nope", "d": 2, "g": 2},     # not a list
+                    {"op": "route", "pi": [0, 1, 2, 3], "d": 0, "g": 2},  # bad d
+                    {"op": "route", "pi": [0, 1, 2, 3], "d": 2, "g": 2,
+                     "backend": "no-such-backend"},
+                ]
+                for request in cases:
+                    with pytest.raises(ServeError) as excinfo:
+                        client.request(request)
+                    assert excinfo.value.code == protocol.ERR_BAD_REQUEST, request
+                # The connection survives every rejection.
+                assert client.ping()
+
+
+# ---------------------------------------------------------------------------
+# backpressure and fault isolation
+
+
+class TestBackpressure:
+    def test_batcher_sheds_when_queue_full(self):
+        # Unit-level: an unstarted batcher never drains its queue.
+        batcher = DynamicBatcher(
+            Session(RunConfig(sim_backend="batched")),
+            ServeTelemetry(),
+            max_queue=2,
+        )
+        pi = np.arange(4, dtype=np.int64)
+        batcher.submit(pi, d=2, g=2, backend="euler-array")
+        batcher.submit(pi, d=2, g=2, backend="euler-array")
+        with pytest.raises(QueueFullError):
+            batcher.submit(pi, d=2, g=2, backend="euler-array")
+
+    def test_daemon_sheds_with_explicit_queue_full_response(self, monkeypatch):
+        entered = threading.Event()
+        release = threading.Event()
+        original_route = Session.route
+
+        def slow_route(self, pi, **kwargs):
+            entered.set()
+            assert release.wait(timeout=10.0)
+            return original_route(self, pi, **kwargs)
+
+        monkeypatch.setattr(Session, "route", slow_route)
+        pis = random_pis(16, 3)
+        with ServeDaemon(batch_window_ms=0.0, max_queue=1) as daemon:
+            host, port = daemon.address
+            outcomes: dict[int, object] = {}
+
+            def go(i):
+                with ServeClient(host, port) as client:
+                    try:
+                        outcomes[i] = client.route(pis[i], d=4, g=4)
+                    except ServeError as exc:
+                        outcomes[i] = exc
+
+            # First request occupies the worker (blocked in route)...
+            t0 = threading.Thread(target=go, args=(0,))
+            t0.start()
+            assert entered.wait(timeout=10.0)
+            # ...second fills the depth-1 queue...
+            t1 = threading.Thread(target=go, args=(1,))
+            t1.start()
+            wait_until(lambda: daemon.batcher.queue_depth == 1)
+            # ...third is shed with the explicit error, immediately.
+            go(2)
+            assert isinstance(outcomes[2], ServeError)
+            assert outcomes[2].code == protocol.ERR_QUEUE_FULL
+
+            release.set()
+            t0.join(timeout=10.0)
+            t1.join(timeout=10.0)
+            assert isinstance(outcomes[0], object) and not isinstance(outcomes[0], ServeError)
+            assert not isinstance(outcomes[1], ServeError)
+            with ServeClient(host, port) as client:
+                telemetry = client.stats()["telemetry"]
+            assert telemetry["shed"] == 1
+            assert telemetry["errors"]["queue-full"] == 1
+
+    def test_client_disconnect_mid_batch_does_not_poison_peers(self):
+        with ServeDaemon(batch_window_ms=300.0, max_batch=2) as daemon:
+            host, port = daemon.address
+            pis = random_pis(32, 2)
+
+            # Client A: fire a route request and hang up immediately (RST via
+            # SO_LINGER 0, so the daemon's response write genuinely fails).
+            ghost = socket.create_connection((host, port), timeout=5.0)
+            protocol.send_frame(
+                ghost,
+                {"op": "route", "pi": [int(x) for x in pis[0]], "d": 8, "g": 4},
+            )
+            ghost.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            ghost.close()
+
+            # Client B joins the same batch window and must be unaffected.
+            with ServeClient(host, port) as client:
+                outcome = client.route(pis[1], d=8, g=4)
+            local = Session(
+                RunConfig(router_backend="euler-array", sim_backend="batched")
+            )
+            assert outcome.metrics == local.route(pis[1], d=8, g=4)
+            # The daemon keeps serving afterwards.
+            with ServeClient(host, port) as client:
+                assert client.ping()
+                assert client.route(pis[0], d=8, g=4).metrics == local.route(
+                    pis[0], d=8, g=4
+                )
+
+
+# ---------------------------------------------------------------------------
+# shutdown
+
+
+class TestShutdown:
+    def test_drain_completes_in_flight_work(self):
+        n_clients = 5
+        # A window far longer than the test: only the drain can close the batch.
+        with ServeDaemon(batch_window_ms=30_000.0, max_batch=64) as daemon:
+            host, port = daemon.address
+            pis = random_pis(32, n_clients)
+            outcomes = [None] * n_clients
+
+            def go(i):
+                with ServeClient(host, port) as client:
+                    outcomes[i] = client.route(pis[i], d=8, g=4)
+
+            threads = [
+                threading.Thread(target=go, args=(i,)) for i in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            wait_until(
+                lambda: daemon.telemetry.requests == n_clients
+                and daemon.batcher.queue_depth == 0
+            )
+            time.sleep(0.05)  # let the last submit land in the open batch
+            t_shutdown = time.perf_counter()
+            daemon.shutdown(drain=True)
+            elapsed = time.perf_counter() - t_shutdown
+            for thread in threads:
+                thread.join(timeout=10.0)
+
+            local = Session(
+                RunConfig(router_backend="euler-array", sim_backend="batched")
+            )
+            for i, outcome in enumerate(outcomes):
+                assert outcome is not None, "drain lost a request"
+                assert outcome.metrics == local.route(pis[i], d=8, g=4)
+            assert outcomes[0].batch_size == n_clients
+            assert elapsed < 10.0, "drain must not wait out the batching window"
+
+    def test_route_after_shutdown_began_gets_structured_error(self):
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            with ServeClient(*daemon.address) as client:
+                assert client.ping()
+                daemon._shutting_down = True  # white-box: intake closed
+                with pytest.raises(ServeError) as excinfo:
+                    client.route(random_pis(16, 1)[0], d=4, g=4)
+                assert excinfo.value.code == protocol.ERR_SHUTTING_DOWN
+            daemon._shutting_down = False
+            daemon.shutdown(drain=True)
+
+    def test_shutdown_is_idempotent(self):
+        daemon = ServeDaemon(batch_window_ms=0.0)
+        daemon.start()
+        daemon.shutdown(drain=True)
+        daemon.shutdown(drain=True)
+
+
+# ---------------------------------------------------------------------------
+# stats and the plan store
+
+
+class TestStats:
+    def test_stats_payload_shape(self):
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            with ServeClient(*daemon.address) as client:
+                client.route(random_pis(16, 1)[0], d=4, g=4)
+                stats = client.stats()
+            assert stats["protocol"] == protocol.PROTOCOL_VERSION
+            assert stats["router_backend"] == "euler-array"
+            assert stats["sim_backend"] == "batched"
+            assert stats["plan_store"] is None
+            assert stats["cache"]["misses"] >= 1
+            telemetry = stats["telemetry"]
+            assert telemetry["requests"] == 1
+            assert telemetry["responses"] == 1
+            assert telemetry["batch_size_histogram"] == {"1": 1}
+            for stage in ("queue_wait", "batch_assembly", "route", "respond"):
+                assert telemetry["stages"][stage]["count"] == 1
+                assert telemetry["stages"][stage]["p99_ms"] >= 0.0
+            # The whole payload is JSON-serialisable (the wire proved it, but
+            # pin it for the --format json consumers too).
+            json.dumps(stats)
+
+    def test_plan_store_attached_and_reported(self, tmp_path):
+        store_path = str(tmp_path / "plan-store")
+        config = RunConfig(
+            router_backend="euler-array",
+            sim_backend="batched",
+            plan_store_path=store_path,
+        )
+        pi = random_pis(16, 1)[0]
+        with ServeDaemon(config, batch_window_ms=0.0) as daemon:
+            with ServeClient(*daemon.address) as client:
+                client.route(pi, d=4, g=4)
+                stats = client.stats()
+            assert stats["plan_store"] is not None
+            assert stats["plan_store"]["entries"] >= 1
+        # A second daemon on the same store starts warm: the same request is
+        # a disk hit, not a recompute.
+        with ServeDaemon(config, batch_window_ms=0.0) as daemon:
+            with ServeClient(*daemon.address) as client:
+                client.route(pi, d=4, g=4)
+                stats = client.stats()
+            assert stats["cache"]["disk_hits"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# the load generator
+
+
+class TestLoadgen:
+    def test_poisson_load_round_trip(self):
+        with ServeDaemon(batch_window_ms=2.0, max_batch=16) as daemon:
+            host, port = daemon.address
+            report = run_poisson_load(
+                host, port, rate=500.0, n_requests=24, d=4, g=4,
+                seed=11, connections=4,
+            )
+        assert report.completed == 24
+        assert report.shed == 0 and report.errors == 0
+        assert report.achieved_routes_per_second > 0
+        assert report.latency_p99_ms >= report.latency_p50_ms > 0
+        assert report.n == 16
+        payload = report.to_dict()
+        json.dumps(payload)
+        assert payload["completed"] == 24
+
+    def test_loadgen_counts_shed_requests(self, monkeypatch):
+        release = threading.Event()
+        original_route = Session.route
+
+        def slow_route(self, pi, **kwargs):
+            release.wait(timeout=10.0)
+            return original_route(self, pi, **kwargs)
+
+        monkeypatch.setattr(Session, "route", slow_route)
+        with ServeDaemon(batch_window_ms=0.0, max_queue=1) as daemon:
+            host, port = daemon.address
+
+            def unblock():
+                wait_until(lambda: daemon.telemetry.shed >= 1, timeout=10.0)
+                release.set()
+
+            unblocker = threading.Thread(target=unblock)
+            unblocker.start()
+            report = run_poisson_load(
+                host, port, rate=2000.0, n_requests=12, d=4, g=4,
+                seed=5, connections=6,
+            )
+            release.set()
+            unblocker.join(timeout=10.0)
+        assert report.shed >= 1
+        assert report.completed + report.shed + report.errors == 12
+
+
+# ---------------------------------------------------------------------------
+# the CLI daemon as a real process (SIGTERM drain path)
+
+
+class TestServeCli:
+    def _start_daemon(self, tmp_path, *extra_args):
+        port_file = tmp_path / "port"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+        process = subprocess.Popen(
+            [
+                sys.executable, "-W", "error::DeprecationWarning", "-m", "repro",
+                "serve", "--port", "0", "--port-file", str(port_file),
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        deadline = time.perf_counter() + 30.0
+        while time.perf_counter() < deadline:
+            if port_file.exists():
+                text = port_file.read_text().strip()
+                if text:
+                    return process, int(text)
+            if process.poll() is not None:
+                raise AssertionError(
+                    f"daemon died at startup: {process.communicate()}"
+                )
+            time.sleep(0.02)
+        process.kill()
+        raise AssertionError("daemon never wrote its port file")
+
+    def test_sigterm_drains_and_exits_cleanly(self, tmp_path):
+        process, port = self._start_daemon(
+            tmp_path, "--batch-window-ms", "100", "--format", "json"
+        )
+        try:
+            pis = random_pis(32, 2, seed=23)
+            outcomes = [None, None]
+
+            def go(i):
+                with ServeClient("127.0.0.1", port, timeout=30.0) as client:
+                    outcomes[i] = client.route(pis[i], d=8, g=4)
+
+            threads = [threading.Thread(target=go, args=(i,)) for i in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert all(outcome is not None for outcome in outcomes)
+            assert {outcome.batch_size for outcome in outcomes} == {2}
+
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30.0)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stderr
+        # --format json: the last line is the final stats document.
+        lines = [line for line in stdout.splitlines() if line.strip()]
+        assert json.loads(lines[0])["listening"]["port"] == port
+        summary = json.loads("\n".join(lines[1:]))
+        assert summary["telemetry"]["responses"] == 2
+        assert summary["telemetry"]["batch_size_histogram"] == {"2": 1}
