@@ -13,12 +13,19 @@ trajectory by diffing files committed from CI runs::
     {
       "schema": 1,
       "pytest_exit_status": 0,
+      "provenance": {"git_commit": ..., "hostname": ...,
+                     "python_version": ..., "numpy_version": ...},
       "results": [
         {"name": "collective_vs_reference_broadcast", "n": 1024,
          "reference_seconds": ..., "collective_seconds": ..., "speedup": ...},
         ...
       ]
     }
+
+The ``provenance`` block stamps where the numbers came from — the emitting
+git commit, machine, Python and numpy versions — so an artefact diffed
+across PRs is never mistaken for a same-machine comparison.
+``check_bench.py`` validates its presence and shape.
 
 Without ``--json`` the emitter still collects (the fixture always works) and
 simply never writes — benchmarks need no conditional plumbing.
@@ -27,13 +34,48 @@ simply never writes — benchmarks need no conditional plumbing.
 from __future__ import annotations
 
 import json
+import platform
+import socket
+import subprocess
 from pathlib import Path
 from typing import Any
 
-__all__ = ["BenchmarkEmitter"]
+__all__ = ["BenchmarkEmitter", "provenance"]
 
 #: Bump when the document layout changes incompatibly.
 SCHEMA_VERSION = 1
+
+
+def provenance() -> dict[str, str]:
+    """Where these numbers came from: commit, machine, interpreter, numpy.
+
+    Every value is a string; unknowable fields degrade to ``"unknown"``
+    (a git-less checkout, a hostname-less container) rather than failing
+    the benchmark run.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        commit = "unknown"
+    try:
+        hostname = socket.gethostname() or "unknown"
+    except OSError:
+        hostname = "unknown"
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unknown"
+    return {
+        "git_commit": commit,
+        "hostname": hostname,
+        "python_version": platform.python_version(),
+        "numpy_version": numpy_version,
+    }
 
 
 class BenchmarkEmitter:
@@ -56,6 +98,7 @@ class BenchmarkEmitter:
         document = {
             "schema": SCHEMA_VERSION,
             "pytest_exit_status": int(exit_status),
+            "provenance": provenance(),
             "results": self.entries,
         }
         self.path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")

@@ -20,11 +20,11 @@ writes the machine-readable perf trajectory artefact.
 from __future__ import annotations
 
 import random
-import time
 
 import pytest
 
 from repro.api import RunConfig, Session
+from repro.obs.stats import best_of as _best_of
 from repro.pops.collective_engine import CollectiveSimulator
 from repro.pops.schedule import RoutingSchedule
 from repro.pops.simulator import POPSSimulator
@@ -77,15 +77,6 @@ def test_broadcast_collective_engine_cached(benchmark, d, g):
     result = benchmark(lambda: session.simulate(schedule, packets, cache_key=key))
     assert result.n_slots == schedule.n_slots
     assert session.cache.stats()["hits"] >= 1
-
-
-def _best_of(fn, repeats: int = 15) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 @pytest.mark.parametrize("d,g", BROADCAST_SHAPES, ids=SHAPE_IDS)

@@ -16,11 +16,11 @@ speedup floor.
 from __future__ import annotations
 
 import random
-import time
 
 import pytest
 
 from repro.api import Session
+from repro.obs.stats import best_of as _best_of
 from repro.pops.engine import BatchedSimulator
 from repro.pops.packet import Packet
 from repro.pops.simulator import POPSSimulator
@@ -102,15 +102,6 @@ def test_simulate_batched_backend(benchmark, d, g):
 
     compiled = benchmark(run)
     assert compiled.n_slots == 1
-
-
-def _best_of(fn, repeats: int = 15) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 @pytest.mark.parametrize(

@@ -25,13 +25,13 @@ writes the machine-readable perf trajectory artefact.
 from __future__ import annotations
 
 import random
-import time
 
 import numpy as np
 import pytest
 
 from repro.analysis.metrics import routing_cache_key, routing_cache_key_batch
 from repro.api.config import RunConfig
+from repro.obs.stats import best_of as _best_of
 from repro.pops.engine import ScheduleCache
 from repro.pops.plan_store import PlanStore
 from repro.pops.topology import POPSNetwork
@@ -53,15 +53,6 @@ def _workload(d: int, g: int):
     network = POPSNetwork(d, g)
     pi = np.asarray(random_permutation(network.n, random.Random(1201)), dtype=np.int64)
     return network, pi
-
-
-def _best_of(fn, repeats: int = 15) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def _primed_store(tmp_path, network, pi, backend):

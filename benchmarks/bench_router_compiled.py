@@ -20,11 +20,11 @@ writes the machine-readable perf trajectory artefact.
 from __future__ import annotations
 
 import random
-import time
 
 import pytest
 
 from repro.api import RunConfig, Session
+from repro.obs.stats import best_of as _best_of
 from repro.pops.engine import BatchedSimulator, ScheduleCache, compile_schedule
 from repro.pops.topology import POPSNetwork
 from repro.routing.permutation_router import PermutationRouter
@@ -80,15 +80,6 @@ def test_route_compiled_plan_cache(benchmark, d, g):
     compiled = benchmark(lambda: router.route_compiled(pi, cache_key=key, cache=cache))
     assert compiled.n_slots == router.slots_required()
     assert cache.stats()["hits"] >= 1
-
-
-def _best_of(fn, repeats: int = 15) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 @pytest.mark.parametrize("d,g", ROUTER_SHAPES, ids=SHAPE_IDS)

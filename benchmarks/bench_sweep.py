@@ -23,13 +23,13 @@ writes the machine-readable perf trajectory artefact.
 from __future__ import annotations
 
 import random
-import time
 
 import numpy as np
 import pytest
 
 from repro.analysis.metrics import routing_cache_key_batch
 from repro.api import RunConfig, Session
+from repro.obs.stats import interleaved_minima
 from repro.pops.engine import BatchedSimulator, ScheduleCache
 from repro.pops.topology import POPSNetwork
 from repro.routing.permutation_router import PermutationRouter, theorem2_slot_bound
@@ -58,40 +58,6 @@ def _workload(d: int, g: int, n_batch: int = BATCH):
         ]
     )
     return network, pis
-
-
-def _best_of(fn, repeats: int = 15) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _interleaved_minima(
-    loop_fn, batch_fn, *, rounds: int = 8, batch_reps: int = 5
-) -> tuple[float, float]:
-    """Best-of timings for both pipelines, sampled interleaved.
-
-    Alternating one loop pass with a burst of batch passes exposes both sides
-    to the same machine-wide contention profile, so a background hiccup skews
-    the two minima together instead of landing on only one of them.  The
-    batch side gets more passes per round because its per-pass variance is
-    larger (a single stray scheduler tick is a bigger fraction of ~26 ms than
-    of ~140 ms).
-    """
-    t_loop = float("inf")
-    t_batch = float("inf")
-    for _ in range(rounds):
-        start = time.perf_counter()
-        loop_fn()
-        t_loop = min(t_loop, time.perf_counter() - start)
-        for _ in range(batch_reps):
-            start = time.perf_counter()
-            batch_fn()
-            t_batch = min(t_batch, time.perf_counter() - start)
-    return t_loop, t_batch
 
 
 @pytest.mark.parametrize("d,g", SWEEP_SHAPES, ids=SHAPE_IDS)
@@ -191,7 +157,7 @@ def test_megabatch_sweep_speedup_floor(bench_emit, d, g, floor):
     best_loop, best_batch, best_speedup = float("inf"), float("inf"), 0.0
     attempts = 3 if floor is not None else 1
     for _ in range(attempts):
-        t_loop, t_batch = _interleaved_minima(run_loop, run_batch)
+        t_loop, t_batch = interleaved_minima(run_loop, run_batch)
         speedup = t_loop / t_batch
         if speedup > best_speedup:
             best_loop, best_batch, best_speedup = t_loop, t_batch, speedup

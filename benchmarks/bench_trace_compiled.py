@@ -21,10 +21,10 @@ typical measured headroom is two orders of magnitude above the floors.
 from __future__ import annotations
 
 import random
-import time
 
 import pytest
 
+from repro.obs.stats import best_of as _best_of
 from repro.pops.engine import BatchedSimulator, ScheduleCache
 from repro.pops.topology import POPSNetwork
 from repro.routing.permutation_router import PermutationRouter
@@ -52,15 +52,6 @@ def _trace_statistics(trace, n_couplers: int):
         trace.mean_coupler_utilisation(n_couplers),
         trace.packets_moved_per_slot(),
     )
-
-
-def _best_of(fn, repeats: int = 15) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 @pytest.mark.parametrize(

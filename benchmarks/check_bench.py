@@ -8,6 +8,9 @@ contract; this script is the gate.  For each file it checks:
 
 * top-level shape: ``schema == 1``, ``pytest_exit_status == 0``, a
   non-empty ``results`` list of dicts, each with a ``name``;
+* provenance: a ``provenance`` object stamping ``git_commit``, ``hostname``,
+  ``python_version`` and ``numpy_version`` as non-empty strings, so a
+  committed artefact always says which commit and machine produced it;
 * floor discipline: every entry reporting a ``speedup`` must carry an
   explicit ``floor`` key — ``None`` for informational entries, a number for
   gated ones — and a numeric floor must be met (``speedup >= floor``).
@@ -31,6 +34,9 @@ from numbers import Real
 
 EXPECTED_SCHEMA = 1
 
+#: The machine identity every artefact must stamp (see ``_emit.provenance``).
+PROVENANCE_FIELDS = ("git_commit", "hostname", "python_version", "numpy_version")
+
 
 def check_file(path: str) -> list[str]:
     """All contract violations in one artefact (empty list = clean)."""
@@ -52,6 +58,19 @@ def check_file(path: str) -> list[str]:
             f"pytest_exit_status is {payload.get('pytest_exit_status')!r}, "
             "expected 0 (the emitting run failed)"
         )
+    prov = payload.get("provenance")
+    if not isinstance(prov, dict):
+        problems.append(
+            f"provenance is {type(prov).__name__ if prov is not None else None!r}, "
+            "expected an object stamping commit/host/versions"
+        )
+    else:
+        for field in PROVENANCE_FIELDS:
+            value = prov.get(field)
+            if not isinstance(value, str) or not value:
+                problems.append(
+                    f"provenance.{field} is {value!r}, expected a non-empty string"
+                )
     results = payload.get("results")
     if not isinstance(results, list) or not results:
         problems.append("results must be a non-empty list")

@@ -34,6 +34,7 @@ from repro.algorithms.reduction import hypercube_allreduce
 from repro.analysis.reporting import format_experiment_report
 from repro.api import EXPERIMENTS
 from repro.api.session import derive_trial_seeds
+from repro.obs import get_tracer
 from repro.patterns.families import (
     all_hypercube_exchanges,
     bit_reversal_permutation,
@@ -162,30 +163,31 @@ def _theorem2_shard(
         from repro.api.session import Session
 
         session = Session(RunConfig(**config_fields))
-    network = POPSNetwork(d, g)
-    cache = session.cache
-    before = cache.stats()
-    pis = np.stack(
-        [
-            np.asarray(
-                random_permutation(network.n, resolve_rng(trial_seed)),
-                dtype=np.int64,
-            )
-            for trial_seed in trial_seeds
-        ]
-    )
-    trial_metrics = session.route_batch(pis, network=network)
-    after = cache.stats()
-    counter_deltas = {
-        name: after[name] - before.get(name, 0)
-        for name in after
-        if name != "entries"
-    }
-    return (
-        sorted({metrics.slots for metrics in trial_metrics}),
-        all(metrics.meets_theorem2_bound for metrics in trial_metrics),
-        counter_deltas,
-    )
+    with get_tracer().span("sweep.shard", d=d, g=g, trials=len(trial_seeds)):
+        network = POPSNetwork(d, g)
+        cache = session.cache
+        before = cache.stats()
+        pis = np.stack(
+            [
+                np.asarray(
+                    random_permutation(network.n, resolve_rng(trial_seed)),
+                    dtype=np.int64,
+                )
+                for trial_seed in trial_seeds
+            ]
+        )
+        trial_metrics = session.route_batch(pis, network=network)
+        after = cache.stats()
+        counter_deltas = {
+            name: after[name] - before.get(name, 0)
+            for name in after
+            if name != "entries"
+        }
+        return (
+            sorted({metrics.slots for metrics in trial_metrics}),
+            all(metrics.meets_theorem2_bound for metrics in trial_metrics),
+            counter_deltas,
+        )
 
 
 def _sweep_row(d: int, g: int, slots_seen: set[int], verified: bool) -> list[Any]:

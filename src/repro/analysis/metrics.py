@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.obs import get_tracer
 from repro.pops.simulator import POPSSimulator
 from repro.pops.topology import POPSNetwork
 from repro.routing.lower_bounds import best_known_lower_bound
@@ -163,6 +164,7 @@ def _measure_routing_batch(
     from repro.routing.lower_bounds import best_known_lower_bound_stack
     from repro.utils.validation import check_permutation_stack
 
+    tracer = get_tracer()
     images = check_permutation_stack(pis, network.n)
     batch_pays_off = (
         prefer_batch if prefer_batch is not None else network.d >= network.g
@@ -183,34 +185,48 @@ def _measure_routing_batch(
 
     from repro.pops.engine import BatchedSimulator
 
-    router = PermutationRouter(network, backend=router_backend, verify=verify)
-    cache_key = (
-        routing_cache_key_batch(router_backend, network, images)
-        if use_cache
-        else None
-    )
-    batch = router.route_compiled_batch(
-        images, cache_key=cache_key, cache=cache, validate=False
-    )
-    engine = BatchedSimulator(network)
-    engine.verify_locations_batch(batch, engine.execute_batch(batch))
-    trace = engine.compiled_trace_batch(batch)
-    lower = best_known_lower_bound_stack(network, images, validate=False)
-    bound = theorem2_slot_bound(network.d, network.g)
-    utilisation = trace.mean_coupler_utilisation(network.n_couplers)
-    return [
-        RoutingMetrics(
-            d=network.d,
-            g=network.g,
-            n=network.n,
-            slots=batch.n_slots,
-            theorem2_bound=bound,
-            lower_bound=int(lower[b]),
-            couplers_used_total=trace.total_packets_moved,
-            mean_coupler_utilisation=utilisation,
-        )
-        for b in range(batch.n_batch)
-    ]
+    with tracer.span(
+        "session.route_batch", d=network.d, g=network.g, n=network.n,
+        batch=int(images.shape[0]),
+    ):
+        with tracer.span("route.setup"):
+            router = PermutationRouter(
+                network, backend=router_backend, verify=verify
+            )
+            cache_key = (
+                routing_cache_key_batch(router_backend, network, images)
+                if use_cache
+                else None
+            )
+            engine = BatchedSimulator(network)
+        with tracer.span("route.compile"):
+            batch = router.route_compiled_batch(
+                images, cache_key=cache_key, cache=cache, validate=False
+            )
+        with tracer.span("engine.execute"):
+            locations = engine.execute_batch(batch)
+        with tracer.span("engine.verify"):
+            engine.verify_locations_batch(batch, locations)
+        with tracer.span("engine.trace"):
+            trace = engine.compiled_trace_batch(batch)
+        with tracer.span("metrics.bounds"):
+            lower = best_known_lower_bound_stack(network, images, validate=False)
+            bound = theorem2_slot_bound(network.d, network.g)
+        with tracer.span("metrics.summarise"):
+            utilisation = trace.mean_coupler_utilisation(network.n_couplers)
+            return [
+                RoutingMetrics(
+                    d=network.d,
+                    g=network.g,
+                    n=network.n,
+                    slots=batch.n_slots,
+                    theorem2_bound=bound,
+                    lower_bound=int(lower[b]),
+                    couplers_used_total=trace.total_packets_moved,
+                    mean_coupler_utilisation=utilisation,
+                )
+                for b in range(batch.n_batch)
+            ]
 
 
 def _measure_routing(
@@ -242,56 +258,80 @@ def _measure_routing(
     ``--cache-stats`` counters make visible; the cache's byte bound keeps
     that case cheap.
     """
-    router = PermutationRouter(network, backend=router_backend, verify=verify)
-    if sim_backend in ("batched", "auto"):
-        # Array-native fast path: the router emits the compiled-schedule
-        # arrays directly (bit-identical to routing object-level and
-        # lowering, so metrics and cache entries are unchanged), the batched
-        # engine executes them, and no per-packet Python objects are built.
-        # A permutation plan is always a consuming schedule, so "auto"
-        # resolves to the batched engine without probing.  The cache key
-        # covers the plan stage: a hit skips route construction entirely.
-        from repro.pops.engine import BatchedSimulator
-        from repro.utils.validation import check_permutation_array
+    tracer = get_tracer()
+    with tracer.span("session.route", d=network.d, g=network.g, n=network.n):
+        if sim_backend in ("batched", "auto"):
+            # Array-native fast path: the router emits the compiled-schedule
+            # arrays directly (bit-identical to routing object-level and
+            # lowering, so metrics and cache entries are unchanged), the batched
+            # engine executes them, and no per-packet Python objects are built.
+            # A permutation plan is always a consuming schedule, so "auto"
+            # resolves to the batched engine without probing.  The cache key
+            # covers the plan stage: a hit skips route construction entirely.
+            from repro.pops.engine import BatchedSimulator
+            from repro.utils.validation import check_permutation_array
 
-        images = check_permutation_array(pi, network.n)
-        cache_key = (
-            routing_cache_key(router_backend, network, images) if use_cache else None
-        )
-        compiled = router.route_compiled(images, cache_key=cache_key, cache=cache)
-        engine = BatchedSimulator(network)
-        engine.verify_locations(compiled, engine.execute(compiled))
-        slots = compiled.n_slots
-        trace = engine.compiled_trace(compiled)
-    else:
-        plan = router.route(pi)
-        simulator = POPSSimulator(network, backend=sim_backend)
-        # Every engine except the reference one gets the cache key: the
-        # reference engine has no compile step to memoise, while plugin
-        # engines registered in SIM_ENGINES may cache compiled artefacts
-        # exactly like "batched".
-        cache_key = (
-            routing_cache_key(router_backend, network, plan.permutation)
-            if use_cache and sim_backend != "reference"
-            else None
-        )
-        result = simulator.route_and_verify(
-            plan.schedule, plan.packets, cache_key=cache_key, cache=cache
-        )
-        slots = plan.n_slots
-        trace = result.trace
-    return RoutingMetrics(
-        d=network.d,
-        g=network.g,
-        n=network.n,
-        slots=slots,
-        theorem2_bound=theorem2_slot_bound(network.d, network.g),
-        lower_bound=best_known_lower_bound(network, pi),
-        couplers_used_total=trace.total_packets_moved,
-        mean_coupler_utilisation=trace.mean_coupler_utilisation(
-            network.n_couplers
-        ),
-    )
+            with tracer.span("route.setup"):
+                router = PermutationRouter(
+                    network, backend=router_backend, verify=verify
+                )
+                images = check_permutation_array(pi, network.n)
+                cache_key = (
+                    routing_cache_key(router_backend, network, images)
+                    if use_cache
+                    else None
+                )
+                engine = BatchedSimulator(network)
+            with tracer.span("route.compile"):
+                compiled = router.route_compiled(
+                    images, cache_key=cache_key, cache=cache
+                )
+            with tracer.span("engine.execute"):
+                locations = engine.execute(compiled)
+            with tracer.span("engine.verify"):
+                engine.verify_locations(compiled, locations)
+            slots = compiled.n_slots
+            with tracer.span("engine.trace"):
+                trace = engine.compiled_trace(compiled)
+        else:
+            with tracer.span("route.setup"):
+                router = PermutationRouter(
+                    network, backend=router_backend, verify=verify
+                )
+                simulator = POPSSimulator(network, backend=sim_backend)
+            with tracer.span("route.compile"):
+                plan = router.route(pi)
+            with tracer.span("engine.execute"):
+                # Every engine except the reference one gets the cache key:
+                # the reference engine has no compile step to memoise, while
+                # plugin engines registered in SIM_ENGINES may cache compiled
+                # artefacts exactly like "batched".
+                cache_key = (
+                    routing_cache_key(router_backend, network, plan.permutation)
+                    if use_cache and sim_backend != "reference"
+                    else None
+                )
+                result = simulator.route_and_verify(
+                    plan.schedule, plan.packets, cache_key=cache_key, cache=cache
+                )
+            slots = plan.n_slots
+            trace = result.trace
+        with tracer.span("metrics.bounds"):
+            bound = theorem2_slot_bound(network.d, network.g)
+            lower = best_known_lower_bound(network, pi)
+        with tracer.span("metrics.summarise"):
+            return RoutingMetrics(
+                d=network.d,
+                g=network.g,
+                n=network.n,
+                slots=slots,
+                theorem2_bound=bound,
+                lower_bound=lower,
+                couplers_used_total=trace.total_packets_moved,
+                mean_coupler_utilisation=trace.mean_coupler_utilisation(
+                    network.n_couplers
+                ),
+            )
 
 
 def slots_vs_bound(network: POPSNetwork, slots: int) -> float:

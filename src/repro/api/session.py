@@ -152,6 +152,13 @@ class Session:
         Router backend, simulator engine, cache policy and trace mode all come
         from the session config; compiled schedules are memoised in the
         session's cache.
+
+        The call is span-instrumented: when a tracer is installed via
+        :func:`repro.obs.set_tracer` (the CLI's ``--profile``/``--trace-out``
+        do this), it emits a ``session.route`` root span with
+        ``route.setup``/``cache.probe``/``engine.*``/``metrics.*`` children;
+        with the default :data:`repro.obs.NULL_TRACER` the instrumentation
+        is a no-op (<1% of a warm route, see ``benchmarks/bench_obs.py``).
         """
         from repro.analysis.metrics import _measure_routing
 
@@ -194,6 +201,9 @@ class Session:
         path even on the batched engines, where the padded batch plan
         builders measurably lose to the loop (bit-identical results either
         way — see ``_measure_routing_batch``).
+
+        Span-instrumented like :meth:`route`, under a ``session.route_batch``
+        root (one span tree for the whole stack on the batched path).
         """
         from repro.analysis.metrics import _measure_routing_batch
 

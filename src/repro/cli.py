@@ -63,6 +63,20 @@ percentiles, routes/sec and the batch-size histogram)::
     pops-repro serve --port 8472 --plan-store .plan-store \\
         --batch-window-ms 2 --max-batch 64
 
+Profile where a run spends its time (``--profile`` prints the per-stage
+time/percentage tree; ``--trace-out`` exports the raw spans, in JSONL or
+chrome://tracing format — both also work on ``sweep`` and ``run``)::
+
+    pops-repro route --d 32 --g 32 --sim-backend batched --profile
+    pops-repro sweep --configs 16:16 --trace-out trace.jsonl
+    pops-repro route --d 8 --g 4 --trace-out trace.json --trace-format chrome
+
+Fetch a running daemon's metrics (Prometheus-style text exposition by
+default, the full JSON stats payload with ``--format json``)::
+
+    pops-repro stats --port 8472
+    pops-repro stats --port 8472 --format json
+
 Inspect, pre-warm, garbage-collect or integrity-check that store::
 
     pops-repro cache stats --plan-store .plan-store --format json
@@ -105,6 +119,60 @@ def _add_format_flag(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    """``--profile`` / ``--trace-out`` / ``--trace-format``: enable tracing."""
+    subparser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "trace the pipeline and print a per-stage time/percentage tree "
+            "(merged under a 'profile' key with --format json)"
+        ),
+    )
+    subparser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the recorded trace spans to PATH (implies tracing on)",
+    )
+    subparser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help=(
+            "trace file format: jsonl = one span per line (schema-versioned), "
+            "chrome = a chrome://tracing / Perfetto JSON document"
+        ),
+    )
+
+
+def _tracer_from_args(args: argparse.Namespace):
+    """Install a real tracer when ``--profile``/``--trace-out`` ask for one."""
+    if not (getattr(args, "profile", False) or getattr(args, "trace_out", None)):
+        return None
+    from repro.obs import Tracer, set_tracer
+
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def _conclude_tracing(args: argparse.Namespace, tracer) -> dict | None:
+    """Disable tracing, write ``--trace-out``, return the profile dict (or None)."""
+    if tracer is None:
+        return None
+    from repro.obs import profile_dict, set_tracer, write_chrome, write_jsonl
+
+    set_tracer(None)
+    spans = tracer.finished()
+    if args.trace_out:
+        if args.trace_format == "chrome":
+            write_chrome(spans, args.trace_out)
+        else:
+            write_jsonl(spans, args.trace_out)
+    return profile_dict(spans) if args.profile else None
+
+
 def _add_plan_store_flag(subparser: argparse.ArgumentParser, required: bool = False) -> None:
     subparser.add_argument(
         "--plan-store",
@@ -131,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser("run", help="run one experiment by id (E1..E8)")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS.names()))
+    _add_obs_flags(run)
     _add_format_flag(run)
 
     run_all = subparsers.add_parser("run-all", help="run every experiment")
@@ -164,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_plan_store_flag(route)
+    _add_obs_flags(route)
     _add_format_flag(route)
 
     sweep = subparsers.add_parser(
@@ -216,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_plan_store_flag(sweep)
+    _add_obs_flags(sweep)
     _add_format_flag(sweep)
 
     serve = subparsers.add_parser(
@@ -279,6 +350,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_plan_store_flag(serve)
     _add_format_flag(serve)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help=(
+            "fetch a running daemon's metrics: Prometheus-style text by "
+            "default, the full stats payload with --format json"
+        ),
+    )
+    stats.add_argument("--host", default="127.0.0.1", help="daemon address")
+    stats.add_argument("--port", type=int, required=True, help="daemon port")
+    _add_format_flag(stats)
 
     cache = subparsers.add_parser(
         "cache",
@@ -359,11 +441,21 @@ def _print_json(payload: object) -> None:
 
 def _command_run(args: argparse.Namespace) -> int:
     session = Session(RunConfig.from_cli_args(args))
+    tracer = _tracer_from_args(args)
     result = session.experiment(args.experiment)
+    profile = _conclude_tracing(args, tracer)
     if args.format == "json":
-        _print_json(result.to_dict())
+        payload = result.to_dict()
+        if profile is not None:
+            payload["profile"] = profile
+        _print_json(payload)
     else:
         print(result.to_report())
+        if profile is not None:
+            from repro.obs import render_profile
+
+            print()
+            print(render_profile(profile))
     return 0 if result.all_pass else 1
 
 
@@ -391,16 +483,19 @@ def _command_route(args: argparse.Namespace) -> int:
     session = Session(config)
     network = POPSNetwork(args.d, args.g)
     pi = family_by_name(args.family, network.n)
+    tracer = _tracer_from_args(args)
     metrics = session.route(pi, network=network)
+    profile = _conclude_tracing(args, tracer)
     if args.format == "json":
-        _print_json(
-            {
-                "network": {"d": args.d, "g": args.g, "n": network.n},
-                "family": args.family,
-                "config": config.to_dict(),
-                "metrics": metrics.to_dict(),
-            }
-        )
+        payload = {
+            "network": {"d": args.d, "g": args.g, "n": network.n},
+            "family": args.family,
+            "config": config.to_dict(),
+            "metrics": metrics.to_dict(),
+        }
+        if profile is not None:
+            payload["profile"] = profile
+        _print_json(payload)
     else:
         print(f"network          : POPS(d={args.d}, g={args.g}), n={network.n}")
         print(f"family           : {args.family}")
@@ -409,6 +504,11 @@ def _command_route(args: argparse.Namespace) -> int:
         print(f"theorem 2 bound  : {metrics.theorem2_bound}")
         print(f"lower bound      : {metrics.lower_bound}")
         print(f"coupler use/slot : {metrics.mean_coupler_utilisation:.3f}")
+        if profile is not None:
+            from repro.obs import render_profile
+
+            print()
+            print(render_profile(profile))
     return 0 if metrics.meets_theorem2_bound else 1
 
 
@@ -438,11 +538,21 @@ def _parse_sweep_configs(spec: str) -> list[tuple[int, int]]:
 
 def _command_sweep(args: argparse.Namespace) -> int:
     session = Session(RunConfig.from_cli_args(args))
+    tracer = _tracer_from_args(args)
     result = session.sweep(args.configs)
+    profile = _conclude_tracing(args, tracer)
     if args.format == "json":
-        _print_json(result.to_dict())
+        payload = result.to_dict()
+        if profile is not None:
+            payload["profile"] = profile
+        _print_json(payload)
     else:
         print(result.to_report())
+        if profile is not None:
+            from repro.obs import render_profile
+
+            print()
+            print(render_profile(profile))
     return 0 if result.all_pass else 1
 
 
@@ -508,6 +618,22 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"route stage        : p50 {route_stage['p50_ms']:.2f} ms, "
             f"p99 {route_stage['p99_ms']:.2f} ms"
         )
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    """Fetch a running daemon's metrics over the wire."""
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        with ServeClient(args.host, args.port, timeout=10.0) as client:
+            if args.format == "json":
+                _print_json(client.stats())
+            else:
+                sys.stdout.write(client.metrics())
+    except (OSError, ConnectionError, ServeError) as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -602,6 +728,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_sweep(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "stats":
+            return _command_stats(args)
         if args.command == "cache":
             return _command_cache(args)
         if args.command == "list":

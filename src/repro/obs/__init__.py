@@ -1,0 +1,73 @@
+"""Unified observability: span tracing, metrics, exporters, profiling.
+
+The one instrumentation layer of the reproduction.  Four pieces:
+
+* :mod:`repro.obs.tracer` — nested, thread-aware ``perf_counter_ns`` span
+  tracing with a zero-overhead disabled path (:data:`NULL_TRACER`);
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms and the
+  :class:`MetricsRegistry` with Prometheus text exposition;
+* :mod:`repro.obs.stats` — the single streaming-percentile / timing-helper
+  implementation every latency surface reduces through;
+* :mod:`repro.obs.export` / :mod:`repro.obs.profile` — JSONL and Chrome
+  trace exporters and the ``--profile`` per-stage time tree.
+
+Hot-path usage (costs one shared no-op object when tracing is disabled)::
+
+    from repro.obs import get_tracer
+
+    with get_tracer().span("engine.execute", n=network.n):
+        ...
+"""
+
+from repro.obs.export import (
+    TRACE_SCHEMA_VERSION,
+    chrome_trace,
+    read_jsonl,
+    validate_jsonl,
+    write_chrome,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    IntHistogram,
+    MetricsRegistry,
+    registry,
+)
+from repro.obs.profile import profile_dict, render_profile
+from repro.obs.stats import (
+    StreamingStats,
+    best_of,
+    interleaved_minima,
+    percentiles,
+    summarize_ms,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IntHistogram",
+    "MetricsRegistry",
+    "registry",
+    "StreamingStats",
+    "percentiles",
+    "summarize_ms",
+    "best_of",
+    "interleaved_minima",
+    "TRACE_SCHEMA_VERSION",
+    "write_jsonl",
+    "read_jsonl",
+    "validate_jsonl",
+    "chrome_trace",
+    "write_chrome",
+    "profile_dict",
+    "render_profile",
+]

@@ -1,0 +1,143 @@
+"""Trace exporters: JSONL span logs and Chrome ``chrome://tracing`` JSON.
+
+The JSONL format (written by ``--trace-out``) is the durable one: a header
+line carrying the schema version, then exactly one JSON object per finished
+span, in the record schema of :mod:`repro.obs.tracer`.  Line-oriented so
+multi-gigabyte traces stream through ``grep``/``jq`` without loading, and
+schema-versioned so downstream tooling can refuse traces it does not
+understand.  :func:`read_jsonl` / :func:`validate_jsonl` are the matching
+reader and CI's schema gate.
+
+:func:`chrome_trace` converts span records to the Chrome Trace Event format
+(complete ``"ph": "X"`` events, microsecond timestamps) for interactive
+inspection in ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "write_jsonl",
+    "read_jsonl",
+    "validate_jsonl",
+    "chrome_trace",
+    "write_chrome",
+]
+
+#: Bump when the span record schema changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+#: Keys every span record line must carry (the tracer's record schema).
+_SPAN_KEYS = ("name", "span_id", "parent_id", "tid", "ts_ns", "dur_ns", "attrs")
+
+
+def write_jsonl(spans: list[dict[str, Any]], path: str) -> int:
+    """Write ``spans`` to ``path`` as header + one event per line.
+
+    Returns the number of span events written.  The header is
+    ``{"schema": TRACE_SCHEMA_VERSION, "kind": "pops-trace", "events": N}``.
+    """
+    with open(path, "w") as fh:
+        fh.write(json.dumps({
+            "schema": TRACE_SCHEMA_VERSION,
+            "kind": "pops-trace",
+            "events": len(spans),
+        }) + "\n")
+        for span in spans:
+            fh.write(json.dumps(span, sort_keys=False) + "\n")
+    return len(spans)
+
+
+def read_jsonl(path: str) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Parse a JSONL trace back to ``(header, spans)``.
+
+    Raises ``ValueError`` on a missing/incompatible header; span lines are
+    returned as parsed but otherwise unchecked dicts (use
+    :func:`validate_jsonl` for the full schema gate).
+    """
+    with open(path) as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(first)
+        if not isinstance(header, dict) or header.get("kind") != "pops-trace":
+            raise ValueError(f"{path}: missing pops-trace header line")
+        if header.get("schema") != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: trace schema {header.get('schema')!r}, "
+                f"expected {TRACE_SCHEMA_VERSION}"
+            )
+        spans = [json.loads(line) for line in fh if line.strip()]
+    return header, spans
+
+
+def validate_jsonl(path: str) -> list[str]:
+    """All schema violations in one trace file (empty list = clean)."""
+    try:
+        header, spans = read_jsonl(path)
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    problems: list[str] = []
+    declared = header.get("events")
+    if declared != len(spans):
+        problems.append(
+            f"header declares {declared!r} events, file has {len(spans)}"
+        )
+    for i, span in enumerate(spans):
+        if not isinstance(span, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        missing = [key for key in _SPAN_KEYS if key not in span]
+        if missing:
+            problems.append(f"event {i}: missing keys {missing}")
+            continue
+        if not isinstance(span["name"], str) or not span["name"]:
+            problems.append(f"event {i}: name must be a non-empty string")
+        for key in ("span_id", "tid", "ts_ns", "dur_ns"):
+            if not isinstance(span[key], int) or isinstance(span[key], bool):
+                problems.append(f"event {i}: {key} must be an integer")
+        if span["parent_id"] is not None and not isinstance(span["parent_id"], int):
+            problems.append(f"event {i}: parent_id must be an integer or null")
+        if not isinstance(span["attrs"], dict):
+            problems.append(f"event {i}: attrs must be an object")
+    return problems
+
+
+def chrome_trace(spans: list[dict[str, Any]]) -> dict[str, Any]:
+    """Span records as a Chrome Trace Event document (``traceEvents``).
+
+    Complete events (``ph: "X"``), microsecond timestamps rebased to the
+    earliest span so the viewer opens at t=0.  Span attributes land in
+    ``args`` along with the span/parent ids, so the tree is recoverable in
+    the viewer's detail pane.
+    """
+    t0 = min((span["ts_ns"] for span in spans), default=0)
+    pid = os.getpid()
+    events = [
+        {
+            "name": span["name"],
+            "ph": "X",
+            "ts": (span["ts_ns"] - t0) / 1e3,
+            "dur": span["dur_ns"] / 1e3,
+            "pid": pid,
+            "tid": span["tid"],
+            "args": {
+                "span_id": span["span_id"],
+                "parent_id": span["parent_id"],
+                **span["attrs"],
+            },
+        }
+        for span in spans
+    ]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(spans: list[dict[str, Any]], path: str) -> int:
+    """Write the Chrome Trace Event conversion of ``spans`` to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(spans), fh)
+    return len(spans)

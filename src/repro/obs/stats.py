@@ -1,0 +1,142 @@
+"""Shared streaming-percentile and timing statistics.
+
+Before the observability layer, three corners of the codebase each carried
+their own percentile reduction — ``ServeTelemetry.snapshot`` (per-stage
+latency percentiles), ``run_poisson_load`` (client-side latency report) and
+the benchmark timing helpers.  They all reduce the same way (``p50/p95/p99``
+over float samples via ``numpy.percentile``), so this module is now the one
+implementation all of them import; parity with the historical outputs is
+pinned in ``tests/test_obs.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_PERCENTILES",
+    "percentiles",
+    "summarize_ms",
+    "StreamingStats",
+    "best_of",
+    "interleaved_minima",
+]
+
+#: The percentiles every latency surface reports.
+DEFAULT_PERCENTILES: tuple[int, ...] = (50, 95, 99)
+
+
+def percentiles(
+    values, pcts: tuple[int, ...] = DEFAULT_PERCENTILES
+) -> tuple[float, ...]:
+    """``numpy.percentile`` over ``values``, as plain floats; zeros if empty.
+
+    The single percentile reduction of the codebase: ``ServeTelemetry``,
+    ``LoadReport`` and the metrics registry's histograms all call this.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return tuple(0.0 for _ in pcts)
+    return tuple(float(p) for p in np.percentile(array, pcts))
+
+
+def summarize_ms(samples) -> dict[str, Any]:
+    """Reduce duration samples (seconds) to the standard latency summary.
+
+    Returns ``{"count", "p50_ms", "p95_ms", "p99_ms", "mean_ms"}`` — the
+    exact per-stage shape ``ServeTelemetry.snapshot`` has always reported,
+    zeros when there are no samples yet.
+    """
+    array = np.asarray(
+        samples if not isinstance(samples, deque) else list(samples),
+        dtype=np.float64,
+    )
+    if array.size == 0:
+        return {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0}
+    p50, p95, p99 = percentiles(array)
+    return {
+        "count": int(array.size),
+        "p50_ms": p50 * 1e3,
+        "p95_ms": p95 * 1e3,
+        "p99_ms": p99 * 1e3,
+        "mean_ms": float(array.mean()) * 1e3,
+    }
+
+
+class StreamingStats:
+    """Bounded sample reservoir with the standard percentile summary.
+
+    Keeps the ``maxlen`` most recent observations (the ``ServeTelemetry``
+    bounding policy: a long-lived process's telemetry cannot grow without
+    bound) plus cumulative count; :meth:`summary_ms` reduces through
+    :func:`summarize_ms`.  Appends are GIL-atomic, so recording from
+    multiple threads needs no caller-side lock.
+    """
+
+    __slots__ = ("_samples", "total")
+
+    def __init__(self, maxlen: int = 100_000):
+        self._samples: deque[float] = deque(maxlen=maxlen)
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        self._samples.append(value)
+        self.total += 1
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def values(self) -> np.ndarray:
+        samples = self._samples
+        return np.fromiter(samples, dtype=np.float64, count=len(samples))
+
+    def summary_ms(self) -> dict[str, Any]:
+        """The standard ``count``/``p50_ms``/``p95_ms``/``p99_ms``/``mean_ms`` dict."""
+        return summarize_ms(self.values())
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self.total = 0
+
+
+def best_of(fn, repeats: int = 15) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``fn()``.
+
+    The benchmark harness's standard timing loop (minimum over repeats is
+    the classic noise-robust estimator for CPU-bound kernels).
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def interleaved_minima(
+    loop_fn, batch_fn, *, rounds: int = 8, batch_reps: int = 5
+) -> tuple[float, float]:
+    """Best-of timings for two competing pipelines, sampled interleaved.
+
+    Alternating one ``loop_fn`` pass with a burst of ``batch_fn`` passes
+    exposes both sides to the same machine-wide contention profile, so a
+    background hiccup skews the two minima together instead of landing on
+    only one of them.  The batch side gets more passes per round because its
+    per-pass variance is larger (a single stray scheduler tick is a bigger
+    fraction of a short pass than of a long one).
+    """
+    t_loop = float("inf")
+    t_batch = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        loop_fn()
+        t_loop = min(t_loop, time.perf_counter() - start)
+        for _ in range(batch_reps):
+            start = time.perf_counter()
+            batch_fn()
+            t_batch = min(t_batch, time.perf_counter() - start)
+    return t_loop, t_batch

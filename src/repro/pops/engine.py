@@ -50,6 +50,8 @@ from repro.exceptions import (
     SimulationError,
     UnsupportedScheduleError,
 )
+from repro.obs import get_tracer
+from repro.obs.metrics import Counter
 from repro.pops.lowering import group_firsts, lower_schedule
 from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule
@@ -282,10 +284,33 @@ class ScheduleCache:
         self.store = store
         self._entries: dict[Hashable, CompiledSchedule | CompiledScheduleBatch] = {}
         self._total_bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
-        self.disk_misses = 0
+        # The counters are repro.obs metrics (the one counting model every
+        # layer reports through); the int-valued properties below keep the
+        # historical ``cache.hits``-style reads working unchanged.
+        self._hits = Counter("cache_hits")
+        self._misses = Counter("cache_misses")
+        self._disk_hits = Counter("cache_disk_hits")
+        self._disk_misses = Counter("cache_disk_misses")
+
+    @property
+    def hits(self) -> int:
+        """Memory-tier hits (cumulative since construction or :meth:`clear`)."""
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        """Accesses both tiers missed."""
+        return self._misses.value
+
+    @property
+    def disk_hits(self) -> int:
+        """Persistent-tier hits (0 without a store)."""
+        return self._disk_hits.value
+
+    @property
+    def disk_misses(self) -> int:
+        """Persistent-tier misses (0 without a store)."""
+        return self._disk_misses.value
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -303,19 +328,23 @@ class ScheduleCache:
         write-back — the blob is already on disk).  ``misses`` counts only
         accesses both tiers missed.
         """
-        compiled = self._entries.get(key)
-        if compiled is not None:
-            self.hits += 1
-            return compiled
-        if self.store is not None:
-            compiled = self.store.get(key)
+        with get_tracer().span("cache.probe") as probe:
+            compiled = self._entries.get(key)
             if compiled is not None:
-                self.disk_hits += 1
-                self._put_memory(key, compiled)
+                self._hits.inc()
+                probe.annotate(tier="memory", hit=True)
                 return compiled
-            self.disk_misses += 1
-        self.misses += 1
-        return None
+            if self.store is not None:
+                compiled = self.store.get(key)
+                if compiled is not None:
+                    self._disk_hits.inc()
+                    self._put_memory(key, compiled)
+                    probe.annotate(tier="disk", hit=True)
+                    return compiled
+                self._disk_misses.inc()
+            self._misses.inc()
+            probe.annotate(hit=False)
+            return None
 
     def peek(self, key: Hashable) -> CompiledSchedule | CompiledScheduleBatch | None:
         """Look up ``key`` without touching the hit/miss counters.
@@ -382,10 +411,10 @@ class ScheduleCache:
         """Drop all memory entries and reset the counters (disk untouched)."""
         self._entries.clear()
         self._total_bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
-        self.disk_misses = 0
+        self._hits.reset()
+        self._misses.reset()
+        self._disk_hits.reset()
+        self._disk_misses.reset()
 
 
 #: Process-wide default cache; worker processes each hold their own instance.
@@ -420,62 +449,63 @@ def compile_schedule(
         If the schedule duplicates packets (non-consuming sends, multi-reader
         couplers) and therefore cannot run on a flat location array.
     """
-    lowered = lower_schedule(
-        network, schedule, packets, initial_buffers, single_location=True
-    )
-    if not lowered.tx_consume.all():
-        raise UnsupportedScheduleError(
-            "non-consuming (broadcast-style) transmissions duplicate packets; "
-            "use the batched-collective engine"
+    with get_tracer().span("route.lower"):
+        lowered = lower_schedule(
+            network, schedule, packets, initial_buffers, single_location=True
         )
-    universe = lowered.packets
-    u_size = lowered.u_size
-    n_slots = lowered.n_slots
+        if not lowered.tx_consume.all():
+            raise UnsupportedScheduleError(
+                "non-consuming (broadcast-style) transmissions duplicate packets; "
+                "use the batched-collective engine"
+            )
+        universe = lowered.packets
+        u_size = lowered.u_size
+        n_slots = lowered.n_slots
 
-    # Consumed: each packet sent in a slot leaves its sender once.
-    p_order, _, p_new = group_firsts(
-        lowered.tx_slot * max(u_size, 1) + lowered.tx_packet
-    )
-    con_first = np.sort(p_order[p_new])
-    con_packet = lowered.tx_packet[con_first]
-    con_counts = np.bincount(lowered.tx_slot[con_first], minlength=n_slots)
-
-    # A packet read by several receivers in one slot would be duplicated.
-    del_key = np.sort(lowered.del_slot * max(u_size, 1) + lowered.del_packet)
-    dup = np.flatnonzero(del_key[1:] == del_key[:-1])
-    if dup.size:
-        raise UnsupportedScheduleError(
-            f"slot {int(del_key[dup[0]] // max(u_size, 1))}: a packet is read "
-            "by several receivers, which duplicates it; use the "
-            "batched-collective engine"
+        # Consumed: each packet sent in a slot leaves its sender once.
+        p_order, _, p_new = group_firsts(
+            lowered.tx_slot * max(u_size, 1) + lowered.tx_packet
         )
+        con_first = np.sort(p_order[p_new])
+        con_packet = lowered.tx_packet[con_first]
+        con_counts = np.bincount(lowered.tx_slot[con_first], minlength=n_slots)
 
-    # Fold the (packet, processor) holder pairs into the flat location array.
-    # The single-location front end guarantees at most one pair per packet;
-    # transmitted packets unknown to the universe stay at -1 (held nowhere).
-    initial_loc = np.full(u_size, -1, dtype=np.int64)
-    initial_loc[lowered.initial_hold_packet] = lowered.initial_hold_proc
+        # A packet read by several receivers in one slot would be duplicated.
+        del_key = np.sort(lowered.del_slot * max(u_size, 1) + lowered.del_packet)
+        dup = np.flatnonzero(del_key[1:] == del_key[:-1])
+        if dup.size:
+            raise UnsupportedScheduleError(
+                f"slot {int(del_key[dup[0]] // max(u_size, 1))}: a packet is read "
+                "by several receivers, which duplicates it; use the "
+                "batched-collective engine"
+            )
 
-    return CompiledSchedule(
-        network=network,
-        packets=universe,
-        n_slots=n_slots,
-        tx_sender=lowered.tx_sender,
-        tx_packet=lowered.tx_packet,
-        tx_ptr=lowered.tx_ptr,
-        pay_coupler=lowered.pay_coupler,
-        pay_packet=lowered.pay_packet,
-        pay_ptr=lowered.pay_ptr,
-        del_receiver=lowered.del_receiver,
-        del_packet=lowered.del_packet,
-        del_ptr=lowered.del_ptr,
-        con_packet=con_packet,
-        con_ptr=np.concatenate(([0], np.cumsum(con_counts, dtype=np.int64))),
-        idle_receiver=lowered.idle_receiver,
-        idle_coupler=lowered.idle_coupler,
-        initial_loc=initial_loc,
-        pk_destination=lowered.pk_destination,
-    )
+        # Fold the (packet, processor) holder pairs into the flat location array.
+        # The single-location front end guarantees at most one pair per packet;
+        # transmitted packets unknown to the universe stay at -1 (held nowhere).
+        initial_loc = np.full(u_size, -1, dtype=np.int64)
+        initial_loc[lowered.initial_hold_packet] = lowered.initial_hold_proc
+
+        return CompiledSchedule(
+            network=network,
+            packets=universe,
+            n_slots=n_slots,
+            tx_sender=lowered.tx_sender,
+            tx_packet=lowered.tx_packet,
+            tx_ptr=lowered.tx_ptr,
+            pay_coupler=lowered.pay_coupler,
+            pay_packet=lowered.pay_packet,
+            pay_ptr=lowered.pay_ptr,
+            del_receiver=lowered.del_receiver,
+            del_packet=lowered.del_packet,
+            del_ptr=lowered.del_ptr,
+            con_packet=con_packet,
+            con_ptr=np.concatenate(([0], np.cumsum(con_counts, dtype=np.int64))),
+            idle_receiver=lowered.idle_receiver,
+            idle_coupler=lowered.idle_coupler,
+            initial_loc=initial_loc,
+            pk_destination=lowered.pk_destination,
+        )
 
 
 class BatchedSimulator:

@@ -68,6 +68,8 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs import get_tracer
+from repro.obs.metrics import Counter
 from repro.pops.packet import Packet
 from repro.pops.topology import POPSNetwork
 
@@ -280,12 +282,34 @@ class PlanStore:
         for directory in (self._objects, self._quarantine, self._stats_dir):
             directory.mkdir(parents=True, exist_ok=True)
         self._pin_schema()
-        #: Per-instance counters, mirrored to this instance's stats shard.
-        self.disk_hits = 0
-        self.disk_misses = 0
-        self.writes = 0
-        self.quarantined = 0
+        # Per-instance counters (repro.obs metrics — the shared counting
+        # model), mirrored to this instance's stats shard; the int-valued
+        # properties below preserve the historical attribute reads.
+        self._counters = {
+            name: Counter(f"store_{name}")
+            for name in ("disk_hits", "disk_misses", "writes", "quarantined")
+        }
         self._shard_path = self._stats_dir / f"{os.getpid()}-{uuid.uuid4().hex}.json"
+
+    @property
+    def disk_hits(self) -> int:
+        """Blobs this instance loaded successfully."""
+        return self._counters["disk_hits"].value
+
+    @property
+    def disk_misses(self) -> int:
+        """Probes this instance answered with a miss (absent or corrupt blob)."""
+        return self._counters["disk_misses"].value
+
+    @property
+    def writes(self) -> int:
+        """Blobs this instance persisted."""
+        return self._counters["writes"].value
+
+    @property
+    def quarantined(self) -> int:
+        """Corrupt blobs this instance moved to quarantine."""
+        return self._counters["quarantined"].value
 
     # -- layout ------------------------------------------------------------
 
@@ -483,25 +507,29 @@ class PlanStore:
         crashes a run, and ``cache verify`` / the quarantine directory keep
         the evidence.
         """
-        digest = plan_key_digest(key)
-        if digest is None:
-            return None
-        blob = self._blob_path(digest)
-        try:
-            with np.load(blob, allow_pickle=False) as data:
-                compiled = self._unpack(data)
-        except FileNotFoundError:
-            self.disk_misses += 1
+        with get_tracer().span("store.probe") as probe:
+            digest = plan_key_digest(key)
+            if digest is None:
+                return None
+            blob = self._blob_path(digest)
+            try:
+                with np.load(blob, allow_pickle=False) as data:
+                    compiled = self._unpack(data)
+            except FileNotFoundError:
+                self._counters["disk_misses"].inc()
+                self._flush_counters()
+                probe.annotate(hit=False)
+                return None
+            except (_CorruptBlob, OSError, ValueError, zipfile.BadZipFile, EOFError):
+                self._quarantine_blob(blob)
+                self._counters["disk_misses"].inc()
+                self._flush_counters()
+                probe.annotate(hit=False, quarantined=True)
+                return None
+            self._counters["disk_hits"].inc()
             self._flush_counters()
-            return None
-        except (_CorruptBlob, OSError, ValueError, zipfile.BadZipFile, EOFError):
-            self._quarantine_blob(blob)
-            self.disk_misses += 1
-            self._flush_counters()
-            return None
-        self.disk_hits += 1
-        self._flush_counters()
-        return compiled
+            probe.annotate(hit=True)
+            return compiled
 
     def put(self, key: Hashable, compiled: Any) -> bool:
         """Persist ``compiled`` under ``key``; returns whether it was written.
@@ -533,7 +561,7 @@ class PlanStore:
             except OSError:
                 pass
             return False
-        self.writes += 1
+        self._counters["writes"].inc()
         self._flush_counters()
         if self.max_bytes is not None:
             self.gc(self.max_bytes)
@@ -543,7 +571,7 @@ class PlanStore:
         target = self._quarantine / f"{blob.stem}.{uuid.uuid4().hex}.npz"
         try:
             os.replace(blob, target)
-            self.quarantined += 1
+            self._counters["quarantined"].inc()
         except OSError:
             # Another process already moved or GC'd it; nothing to keep.
             pass

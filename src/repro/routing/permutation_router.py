@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.exceptions import RoutingError
+from repro.obs import get_tracer
 from repro.pops.packet import Packet
 from repro.pops.schedule import RoutingSchedule
 from repro.pops.topology import POPSNetwork
@@ -200,7 +201,8 @@ class PermutationRouter:
             compiled = store.get(cache_key)
             if compiled is not None:
                 return compiled
-        compiled = self._route_compiled_uncached(pi)
+        with get_tracer().span("route.plan", backend=self.solver.backend):
+            compiled = self._route_compiled_uncached(pi)
         if store is not None:
             store.put(cache_key, compiled)
         return compiled
@@ -235,7 +237,8 @@ class PermutationRouter:
             compiled = store.get(cache_key)
             if compiled is not None:
                 return compiled
-        compiled = self._route_compiled_batch_uncached(pis, validate=validate)
+        with get_tracer().span("route.plan", backend=self.solver.backend):
+            compiled = self._route_compiled_batch_uncached(pis, validate=validate)
         if store is not None:
             store.put(cache_key, compiled)
         return compiled

@@ -45,6 +45,7 @@ from typing import Any
 import numpy as np
 
 from repro.api.session import Session
+from repro.obs import get_tracer
 from repro.pops.topology import POPSNetwork
 from repro.serve.telemetry import ServeTelemetry
 
@@ -265,15 +266,19 @@ class DynamicBatcher:
         for (d, g, _n, backend), members in groups.items():
             t_route_start = time.perf_counter()
             try:
-                session = self._session_for(backend)
-                network = POPSNetwork(d, g)
-                if len(members) == 1:
-                    metrics_list = [
-                        session.route(members[0].pi, network=network)
-                    ]
-                else:
-                    stack = np.stack([member.pi for member in members])
-                    metrics_list = session.route_batch(stack, network=network)
+                with get_tracer().span(
+                    "serve.dispatch", d=d, g=g, backend=backend,
+                    batch=len(members),
+                ):
+                    session = self._session_for(backend)
+                    network = POPSNetwork(d, g)
+                    if len(members) == 1:
+                        metrics_list = [
+                            session.route(members[0].pi, network=network)
+                        ]
+                    else:
+                        stack = np.stack([member.pi for member in members])
+                        metrics_list = session.route_batch(stack, network=network)
             except Exception as exc:
                 for member in members:
                     member.future.set_exception(exc)

@@ -142,6 +142,10 @@ class ServeClient:
         """The daemon's ``stats`` payload: telemetry, cache, store, knobs."""
         return self.request({"op": "stats"})["stats"]
 
+    def metrics(self) -> str:
+        """The daemon's metrics as Prometheus-style text exposition."""
+        return str(self.request({"op": "metrics"})["metrics"])
+
     def ping(self) -> bool:
         """Liveness probe."""
         return bool(self.request({"op": "ping"}).get("pong"))

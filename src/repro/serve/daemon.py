@@ -39,9 +39,11 @@ from repro.api.config import RunConfig
 from repro.api.registry import ROUTER_BACKENDS, ensure_builtin_backends
 from repro.api.session import Session
 from repro.exceptions import ConfigurationError, ValidationError
+from repro.obs import get_tracer
+from repro.obs.metrics import MetricsRegistry
 from repro.serve import protocol
 from repro.serve.batcher import DynamicBatcher, QueueFullError, ShuttingDownError
-from repro.serve.telemetry import ServeTelemetry
+from repro.serve.telemetry import STAGES, ServeTelemetry
 
 __all__ = ["ServeDaemon"]
 
@@ -258,6 +260,8 @@ class ServeDaemon:
             return self._handle_route(conn, request)
         if op == "stats":
             return self._send(conn, {"ok": True, "stats": self.stats()})
+        if op == "metrics":
+            return self._send(conn, {"ok": True, "metrics": self.metrics_text()})
         if op == "ping":
             return self._send(conn, {"ok": True, "pong": True})
         self.telemetry.record_error(protocol.ERR_UNKNOWN_OP)
@@ -354,15 +358,45 @@ class ServeDaemon:
                 "batch_size": result.batch_size,
             })
             if sent:
-                self.telemetry.record_response({
+                stage_seconds = {
                     **result.stage_seconds,
                     "respond": time.perf_counter() - t_respond,
-                })
+                }
+                self.telemetry.record_response(stage_seconds)
+                self._emit_request_spans(stage_seconds, result.batch_size)
             return sent
         finally:
             with self._inflight_cv:
                 self._inflight -= 1
                 self._inflight_cv.notify_all()
+
+    def _emit_request_spans(self, stage_seconds: dict[str, float], batch_size: int) -> None:
+        """Re-emit one answered request's stage clocks as trace spans.
+
+        The stages were timed by the batcher/handler machinery, not inside
+        ``tracer.span`` blocks, so when tracing is enabled they are
+        reconstructed retroactively: one ``serve.request`` root whose
+        children are the consecutive ``serve.<stage>`` intervals, laid out
+        backwards from now.  With the null tracer this is two attribute
+        reads and an early return.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        durations = [
+            (stage, int(stage_seconds[stage] * 1e9))
+            for stage in STAGES
+            if stage in stage_seconds
+        ]
+        total_ns = sum(dur for _stage, dur in durations)
+        t_end = time.perf_counter_ns()
+        root = tracer.emit(
+            "serve.request", t_end - total_ns, total_ns, batch_size=batch_size
+        )
+        t = t_end - total_ns
+        for stage, dur_ns in durations:
+            tracer.emit(f"serve.{stage}", t, dur_ns, parent_id=root)
+            t += dur_ns
 
     # -- the stats request ---------------------------------------------------
 
@@ -380,3 +414,27 @@ class ServeDaemon:
             "cache": self.session.cache_stats(),
             "plan_store": store.stats() if store is not None else None,
         }
+
+    # -- the metrics request -------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of the whole daemon's state.
+
+        The serving metrics come straight from the telemetry's registry;
+        the cache, plan-store, and queue state are point-in-time values,
+        rendered through a transient registry so every series goes out in
+        one consistent format.
+        """
+        gauges = MetricsRegistry()
+        gauges.gauge("serve_queue_depth").set(self.batcher.queue_depth)
+        for key, value in self.session.cache_stats().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            gauges.gauge(f"cache_{key}").set(value)
+        store = self.session.cache.store
+        if store is not None:
+            for key, value in store.stats().items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                gauges.gauge(f"store_{key}").set(value)
+        return self.telemetry.registry.render_prometheus() + gauges.render_prometheus()

@@ -27,6 +27,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.stats import percentiles
 from repro.serve.client import ServeClient, ServeError
 
 __all__ = ["LoadReport", "run_poisson_load", "sweep_rates"]
@@ -177,9 +178,10 @@ def run_poisson_load(
     t0 = t0_holder[0]
     duration = max((t for t in last_done if t > 0.0), default=t0) - t0
     if all_latencies:
-        values = np.asarray(all_latencies)
-        p50, p95, p99 = np.percentile(values, (50, 95, 99))
-        mean = float(values.mean())
+        # The shared percentile reduction (repro.obs.stats) — the same
+        # implementation the daemon-side telemetry reports through.
+        p50, p95, p99 = percentiles(all_latencies)
+        mean = float(np.asarray(all_latencies).mean())
     else:
         p50 = p95 = p99 = mean = 0.0
     return LoadReport(

@@ -17,6 +17,7 @@ Request vocabulary (the ``op`` key selects the operation)::
 
     {"op": "route", "pi": [...], "d": 8, "g": 4}        # optional "backend"
     {"op": "stats"}
+    {"op": "metrics"}    # Prometheus-style text exposition of daemon metrics
     {"op": "ping"}
 
 Responses carry ``{"ok": true, ...}`` on success and

@@ -16,19 +16,25 @@ and the batch-size histogram that shows dynamic batching actually coalescing
 (every entry at size >= 2 is a megabatch kernel call that replaced that many
 single routes).
 
-Samples are kept in bounded deques (:data:`MAX_SAMPLES` most recent per
-stage) so a long-lived daemon's telemetry cannot grow without bound; the
-counters are cumulative for the whole process lifetime.
+Since the observability layer landed, the telemetry is built entirely on the
+:mod:`repro.obs` metrics model: each stage is a
+:class:`~repro.obs.metrics.Histogram` (bounded at :data:`MAX_SAMPLES`
+samples, reduced through the shared percentile implementation in
+:mod:`repro.obs.stats`), the batch sizes are an
+:class:`~repro.obs.metrics.IntHistogram`, and the request/response/shed/error
+counts are :class:`~repro.obs.metrics.Counter` series in one per-daemon
+:class:`~repro.obs.metrics.MetricsRegistry` — which is what the daemon's
+``metrics`` op renders as Prometheus text.  The :meth:`snapshot` shape is
+bit-for-bit the historical one (pinned in ``tests/test_serve.py`` and
+``tests/test_obs.py``).
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import Counter, deque
 from typing import Any
 
-import numpy as np
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ServeTelemetry", "STAGES", "MAX_SAMPLES"]
 
@@ -38,51 +44,71 @@ STAGES: tuple[str, ...] = ("queue_wait", "batch_assembly", "route", "respond")
 #: Most recent duration samples kept per stage.
 MAX_SAMPLES = 100_000
 
-#: Percentiles reported per stage.
-_PERCENTILES: tuple[int, ...] = (50, 95, 99)
-
 
 class ServeTelemetry:
     """Thread-safe request/latency/batch accounting for one daemon."""
 
     def __init__(self):
-        self._lock = threading.Lock()
         self._started = time.perf_counter()
-        self._samples: dict[str, deque[float]] = {
-            stage: deque(maxlen=MAX_SAMPLES) for stage in STAGES
+        self.registry = MetricsRegistry()
+        self._stages = {
+            stage: self.registry.histogram(
+                "serve_stage_seconds", maxlen=MAX_SAMPLES, stage=stage
+            )
+            for stage in STAGES
         }
-        self._batch_sizes: Counter[int] = Counter()
-        self.requests = 0          # route requests accepted off the wire
-        self.responses = 0         # route responses successfully written
-        self.shed = 0              # rejected with queue-full
-        self.errors: Counter[str] = Counter()  # error responses by code
+        self._batch_sizes = self.registry.int_histogram("serve_batch_size")
+        self._requests = self.registry.counter("serve_requests")
+        self._responses = self.registry.counter("serve_responses")
+        self._shed = self.registry.counter("serve_shed")
 
-    # -- recording (hot path: one lock acquisition per call) ---------------
+    # -- compatible counter reads -------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        """Route requests accepted off the wire."""
+        return self._requests.value
+
+    @property
+    def responses(self) -> int:
+        """Route responses successfully written."""
+        return self._responses.value
+
+    @property
+    def shed(self) -> int:
+        """Requests rejected with queue-full."""
+        return self._shed.value
+
+    @property
+    def errors(self) -> dict[str, int]:
+        """Error responses by code (a fresh dict; mutating it changes nothing)."""
+        return {
+            series.labels["code"]: series.value
+            for series in self.registry.series("serve_errors")
+            if series.value > 0
+        }
+
+    # -- recording (hot path) -----------------------------------------------
 
     def record_request(self) -> None:
-        with self._lock:
-            self.requests += 1
+        self._requests.inc()
 
     def record_response(self, stage_seconds: dict[str, float]) -> None:
         """One route request answered; ``stage_seconds`` maps stage -> duration."""
-        with self._lock:
-            self.responses += 1
-            for stage, seconds in stage_seconds.items():
-                self._samples[stage].append(seconds)
+        self._responses.inc()
+        for stage, seconds in stage_seconds.items():
+            self._stages[stage].observe(seconds)
 
     def record_batch(self, size: int) -> None:
         """One routing call dispatched covering ``size`` coalesced requests."""
-        with self._lock:
-            self._batch_sizes[size] += 1
+        self._batch_sizes.observe(size)
 
     def record_shed(self) -> None:
-        with self._lock:
-            self.shed += 1
-            self.errors["queue-full"] += 1
+        self._shed.inc()
+        self.record_error("queue-full")
 
     def record_error(self, code: str) -> None:
-        with self._lock:
-            self.errors[code] += 1
+        self.registry.counter("serve_errors", code=code).inc()
 
     # -- reporting ----------------------------------------------------------
 
@@ -97,38 +123,23 @@ class ServeTelemetry:
         with at least one peer; ``routes_per_second`` is responses over
         uptime — the sustained rate since the daemon started.
         """
-        with self._lock:
-            uptime = time.perf_counter() - self._started
-            stages: dict[str, dict[str, float]] = {}
-            for stage in STAGES:
-                samples = self._samples[stage]
-                if samples:
-                    values = np.fromiter(samples, dtype=np.float64, count=len(samples))
-                    pcts = np.percentile(values, _PERCENTILES)
-                    stages[stage] = {
-                        "count": len(samples),
-                        "p50_ms": float(pcts[0]) * 1e3,
-                        "p95_ms": float(pcts[1]) * 1e3,
-                        "p99_ms": float(pcts[2]) * 1e3,
-                        "mean_ms": float(values.mean()) * 1e3,
-                    }
-                else:
-                    stages[stage] = {
-                        "count": 0, "p50_ms": 0.0, "p95_ms": 0.0,
-                        "p99_ms": 0.0, "mean_ms": 0.0,
-                    }
-            histogram = {str(size): count for size, count in sorted(self._batch_sizes.items())}
-            batched = sum(
-                size * count for size, count in self._batch_sizes.items() if size > 1
-            )
-            return {
-                "uptime_seconds": uptime,
-                "requests": self.requests,
-                "responses": self.responses,
-                "shed": self.shed,
-                "errors": dict(self.errors),
-                "routes_per_second": self.responses / uptime if uptime > 0 else 0.0,
-                "batch_size_histogram": histogram,
-                "batched_requests": batched,
-                "stages": stages,
-            }
+        uptime = time.perf_counter() - self._started
+        stages = {
+            stage: histogram.summary_ms()
+            for stage, histogram in self._stages.items()
+        }
+        sizes = self._batch_sizes.counts()
+        responses = self.responses
+        return {
+            "uptime_seconds": uptime,
+            "requests": self.requests,
+            "responses": responses,
+            "shed": self.shed,
+            "errors": self.errors,
+            "routes_per_second": responses / uptime if uptime > 0 else 0.0,
+            "batch_size_histogram": {str(size): count for size, count in sizes.items()},
+            "batched_requests": sum(
+                size * count for size, count in sizes.items() if size > 1
+            ),
+            "stages": stages,
+        }

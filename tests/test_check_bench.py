@@ -36,6 +36,12 @@ def _good_payload() -> dict:
     return {
         "schema": 1,
         "pytest_exit_status": 0,
+        "provenance": {
+            "git_commit": "0123abc",
+            "hostname": "bench-host",
+            "python_version": "3.11.7",
+            "numpy_version": "1.26.0",
+        },
         "results": [
             {"name": "gated", "speedup": 12.5, "floor": 10.0},
             {"name": "informational", "speedup": 1.2, "floor": None},
@@ -92,6 +98,42 @@ def test_failed_emitting_run_fails(tmp_path):
     proc = _run(_artefact(tmp_path, "BENCH_badrun.json", payload))
     assert proc.returncode == 1
     assert "pytest_exit_status" in proc.stderr
+
+
+def test_missing_provenance_fails(tmp_path):
+    payload = _good_payload()
+    del payload["provenance"]
+    proc = _run(_artefact(tmp_path, "BENCH_noprov.json", payload))
+    assert proc.returncode == 1
+    assert "provenance" in proc.stderr
+
+
+def test_incomplete_provenance_fails(tmp_path):
+    payload = _good_payload()
+    del payload["provenance"]["git_commit"]
+    payload["provenance"]["hostname"] = ""
+    proc = _run(_artefact(tmp_path, "BENCH_partialprov.json", payload))
+    assert proc.returncode == 1
+    assert "provenance.git_commit" in proc.stderr
+    assert "provenance.hostname" in proc.stderr
+
+
+def test_emitter_stamps_valid_provenance(tmp_path):
+    """A document written by BenchmarkEmitter passes the gate end to end."""
+    sys.path.insert(0, str(CHECK_BENCH.parent))
+    try:
+        from _emit import BenchmarkEmitter
+    finally:
+        sys.path.pop(0)
+    emitter = BenchmarkEmitter(str(tmp_path / "BENCH_emitted.json"))
+    emitter.record("emitted", speedup=2.0, floor=1.5)
+    emitter.write(exit_status=0)
+    proc = _run(tmp_path / "BENCH_emitted.json")
+    assert proc.returncode == 0, proc.stderr
+    stamped = json.loads((tmp_path / "BENCH_emitted.json").read_text())["provenance"]
+    assert set(stamped) == {
+        "git_commit", "hostname", "python_version", "numpy_version"
+    }
 
 
 def test_empty_results_fail(tmp_path):
