@@ -2,7 +2,8 @@
 
 CI's bench-smoke job emits one JSON artefact per benchmark module
 (``BENCH_collective.json``, ``BENCH_routing.json``, ``BENCH_sweep.json``,
-``BENCH_store.json``, ``BENCH_serve.json``) through :mod:`benchmarks._emit`.  Downstream tooling
+``BENCH_store.json``, ``BENCH_serve.json``, ``BENCH_obs.json``,
+``BENCH_faults.json``) through :mod:`benchmarks._emit`.  Downstream tooling
 plots these across commits, which only works while every artefact keeps the
 contract; this script is the gate.  For each file it checks:
 

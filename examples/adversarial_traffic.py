@@ -16,9 +16,12 @@ This example sweeps d for a fixed g and prints the slot counts of
 * the direct single-hop baseline,
 
 together with the Proposition 2 lower bound — reproducing the crossover the
-paper's worst-case guarantee is about.  A final burst of concurrent requests
+paper's worst-case guarantee is about.  A burst of concurrent requests then
 shows the daemon's dynamic batcher coalescing same-shape traffic into one
-megabatch kernel call.
+megabatch kernel call, and a final act kills one of the couplers the clean
+plan drives mid-schedule: execution trips, the residual packets are rerouted
+online over the surviving couplers, and the degraded totals are printed next
+to the clean Theorem 2 bound they stay within 2x of.
 
 Run with::
 
@@ -31,10 +34,12 @@ import threading
 
 from repro import BlockedPermutationRouter, DirectRouter, POPSNetwork
 from repro.analysis.reporting import format_table
+from repro.faults import FaultSpec, route_with_recovery
 from repro.patterns.generators import random_group_moving_blocked_permutation
 from repro.pops.packet import Packet
 from repro.pops.simulator import POPSSimulator
 from repro.routing.lower_bounds import proposition2_lower_bound
+from repro.routing.permutation_router import PermutationRouter, theorem2_slot_bound
 from repro.serve import ServeClient, ServeDaemon
 
 
@@ -115,6 +120,58 @@ def main() -> None:
             f"8 concurrent d={d} requests were answered in batches of "
             f"{sorted(batch_sizes, reverse=True)} (1 = routed alone)."
         )
+
+    # Final act: a coupler fails mid-schedule.  For each d we pick a coupler
+    # the clean plan provably drives after slot 0, declare it dead from
+    # slot 1, and let the recovery pipeline run: clean plan, injected
+    # execution up to the trip, online reroute of the residual packets over
+    # the surviving couplers, verified delivery on the degraded network.
+    fault_rows = []
+    for d in (4, 8, 16, 32):
+        network = POPSNetwork(d, g)
+        pi = random_group_moving_blocked_permutation(network, rng=d)
+        plan = PermutationRouter(network).route(pi)
+        driven = plan.schedule.slots[1].transmissions[0].coupler
+        spec = FaultSpec(
+            failed_couplers=((driven.dest_group, driven.source_group),),
+            onset_slot=1,
+        )
+        report = route_with_recovery(network, pi, spec)
+        fault_rows.append(
+            [
+                d,
+                g,
+                repr(driven),
+                theorem2_slot_bound(d, g),
+                report.executed_slots,
+                report.reroute_slots,
+                report.total_slots,
+                f"{report.overhead_ratio:.2f}x",
+                report.delivered,
+            ]
+        )
+    print()
+    print("one driven coupler fails at slot 1 (same traffic class)")
+    print(
+        format_table(
+            [
+                "d",
+                "g",
+                "failed coupler",
+                "clean bound",
+                "executed",
+                "reroute",
+                "total",
+                "overhead",
+                "delivered",
+            ],
+            fault_rows,
+        )
+    )
+    print()
+    print("Every packet still arrives: the slots already executed are kept,")
+    print("the residual traffic detours over the surviving couplers, and the")
+    print("degraded total stays within 2x of the clean Theorem 2 bound.")
 
 
 if __name__ == "__main__":

@@ -264,6 +264,44 @@ class Session:
         )
         return router.route_compiled(pi, cache_key=cache_key, cache=self.cache)
 
+    def route_degraded(
+        self,
+        pi: Sequence[int],
+        *,
+        network: POPSNetwork | None = None,
+        d: int | None = None,
+        g: int | None = None,
+        faults,
+    ):
+        """Route ``pi`` under fault injection and recover online.
+
+        The fault-tolerance pipeline
+        (:func:`repro.faults.route_with_recovery`): the clean Theorem 2 plan
+        executes on the batched engine with ``faults`` (a
+        :class:`~repro.faults.FaultSpec`) injected; if the schedule drives
+        failed hardware inside the fault window, the residual traffic is
+        re-solved over the surviving couplers and verified delivered on the
+        degraded topology.  Returns a
+        :class:`~repro.faults.FaultRecoveryReport` comparing total slots
+        (executed before the fault + reroute) against the clean ``2⌈d/g⌉``
+        bound.  Span-instrumented (``fault.inject``, ``route.reroute``).
+        """
+        from repro.faults import FaultSpec, route_with_recovery
+
+        if not isinstance(faults, FaultSpec):
+            raise ConfigurationError(
+                f"faults must be a FaultSpec, got {type(faults).__name__}"
+            )
+        if network is None:
+            if d is None or g is None:
+                raise ConfigurationError(
+                    "route_degraded() needs either network= or both d= and g="
+                )
+            network = POPSNetwork(d, g)
+        return route_with_recovery(
+            network, pi, faults, router_backend=self.config.router_backend
+        )
+
     def simulate(
         self,
         schedule: RoutingSchedule,

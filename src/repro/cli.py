@@ -71,11 +71,28 @@ chrome://tracing format — both also work on ``sweep`` and ``run``)::
     pops-repro sweep --configs 16:16 --trace-out trace.jsonl
     pops-repro route --d 8 --g 4 --trace-out trace.json --trace-format chrome
 
+Route under an injected fault spec — the clean schedule executes until the
+failure bites, then the residual traffic is re-routed online over the
+surviving couplers and delivery is verified on the degraded topology
+(grammar: ``cB.A`` failed coupler, ``pN`` failed processor, ``gN`` failed
+group, ``onset=K``, ``transient=K``)::
+
+    pops-repro route --d 8 --g 4 --faults c1.2,onset=1
+    pops-repro route --d 8 --g 4 --faults c1.2,c3.1,transient=2 --format json
+
+Serve with chaos injection — every dispatch (or a ``--fault-rate`` fraction)
+executes under the fault spec and is answered through online recovery with
+``"degraded": true``::
+
+    pops-repro serve --port 8472 --faults c1.2 --fault-rate 0.5
+
 Fetch a running daemon's metrics (Prometheus-style text exposition by
-default, the full JSON stats payload with ``--format json``)::
+default, the full JSON stats payload with ``--format json``; ``--retries``
+and ``--deadline-ms`` make the fetch resilient to a restarting daemon)::
 
     pops-repro stats --port 8472
     pops-repro stats --port 8472 --format json
+    pops-repro stats --port 8472 --retries 3 --deadline-ms 2000
 
 Inspect, pre-warm, garbage-collect or integrity-check that store::
 
@@ -93,7 +110,7 @@ import os
 import sys
 from collections.abc import Sequence
 
-import repro.analysis.experiments  # noqa: F401  (registers E1..E8)
+import repro.analysis.experiments  # noqa: F401  (registers E1..E12)
 from repro.api.config import RunConfig
 from repro.api.registry import (
     EXPERIMENTS,
@@ -173,6 +190,17 @@ def _conclude_tracing(args: argparse.Namespace, tracer) -> dict | None:
     return profile_dict(spans) if args.profile else None
 
 
+def _parse_fault_spec(text: str):
+    """argparse type for ``--faults``: the :meth:`FaultSpec.parse` grammar."""
+    from repro.exceptions import ConfigurationError
+    from repro.faults import FaultSpec
+
+    try:
+        return FaultSpec.parse(text)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _add_plan_store_flag(subparser: argparse.ArgumentParser, required: bool = False) -> None:
     subparser.add_argument(
         "--plan-store",
@@ -197,7 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    run = subparsers.add_parser("run", help="run one experiment by id (E1..E8)")
+    run = subparsers.add_parser("run", help="run one experiment by id (E1..E12)")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS.names()))
     _add_obs_flags(run)
     _add_format_flag(run)
@@ -230,6 +258,17 @@ def build_parser() -> argparse.ArgumentParser:
             "simulator backend (batched = vectorized fast path, "
             "batched-collective = vectorized multi-location engine for "
             "broadcast/collective schedules, auto = pick by schedule shape)"
+        ),
+    )
+    route.add_argument(
+        "--faults",
+        type=_parse_fault_spec,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject a fault spec (cB.A failed coupler, pN failed processor, "
+            "gN failed group, onset=K, transient=K; comma-separated) and "
+            "recover the residual traffic online over the survivors"
         ),
     )
     _add_plan_store_flag(route)
@@ -348,6 +387,32 @@ def build_parser() -> argparse.ArgumentParser:
             "an explicit queue-full response"
         ),
     )
+    serve.add_argument(
+        "--faults",
+        type=_parse_fault_spec,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "chaos testing: inject this fault spec into dispatches; struck "
+            "requests are recovered online and answered degraded=true"
+        ),
+    )
+    serve.add_argument(
+        "--fault-rate",
+        type=float,
+        default=1.0,
+        metavar="P",
+        help=(
+            "probability a dispatch is fault-struck (deterministic seeded "
+            "stream; only meaningful with --faults; default 1.0)"
+        ),
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault-strike stream",
+    )
     _add_plan_store_flag(serve)
     _add_format_flag(serve)
 
@@ -360,6 +425,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--host", default="127.0.0.1", help="daemon address")
     stats.add_argument("--port", type=int, required=True, help="daemon port")
+    stats.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=10_000.0,
+        metavar="MS",
+        help="per-operation deadline; expiry is a structured deadline error",
+    )
+    stats.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "retry transport failures up to N times with exponential "
+            "backoff on a fresh connection (daemon restarts are absorbed)"
+        ),
+    )
     _add_format_flag(stats)
 
     cache = subparsers.add_parser(
@@ -483,6 +565,8 @@ def _command_route(args: argparse.Namespace) -> int:
     session = Session(config)
     network = POPSNetwork(args.d, args.g)
     pi = family_by_name(args.family, network.n)
+    if args.faults is not None:
+        return _route_with_faults(args, config, session, network, pi)
     tracer = _tracer_from_args(args)
     metrics = session.route(pi, network=network)
     profile = _conclude_tracing(args, tracer)
@@ -510,6 +594,49 @@ def _command_route(args: argparse.Namespace) -> int:
             print()
             print(render_profile(profile))
     return 0 if metrics.meets_theorem2_bound else 1
+
+
+def _route_with_faults(args, config, session, network, pi) -> int:
+    """``route --faults``: inject, recover online, verify, report."""
+    from repro.exceptions import ConfigurationError, RoutingError
+
+    tracer = _tracer_from_args(args)
+    try:
+        report = session.route_degraded(pi, network=network, faults=args.faults)
+    except (ConfigurationError, RoutingError) as exc:
+        _conclude_tracing(args, tracer)
+        print(f"route: {exc}", file=sys.stderr)
+        return 2
+    profile = _conclude_tracing(args, tracer)
+    if args.format == "json":
+        payload = {
+            "network": {"d": args.d, "g": args.g, "n": network.n},
+            "family": args.family,
+            "faults": args.faults.to_dict(),
+            "config": config.to_dict(),
+            "report": report.to_dict(),
+        }
+        if profile is not None:
+            payload["profile"] = profile
+        _print_json(payload)
+    else:
+        print(f"network          : POPS(d={args.d}, g={args.g}), n={network.n}")
+        print(f"family           : {args.family}")
+        print(f"faults           : {args.faults.describe()}")
+        print(f"fault triggered  : {report.fault_triggered}")
+        print(f"executed slots   : {report.executed_slots}")
+        print(f"residual packets : {report.residual_packets}")
+        print(f"reroute slots    : {report.reroute_slots}")
+        print(f"total slots      : {report.total_slots}")
+        print(f"theorem 2 bound  : {report.theorem2_bound}")
+        print(f"overhead ratio   : {report.overhead_ratio:.3f}")
+        print(f"delivered        : {report.delivered}")
+        if profile is not None:
+            from repro.obs import render_profile
+
+            print()
+            print(render_profile(profile))
+    return 0 if report.delivered else 1
 
 
 def _parse_sweep_configs(spec: str) -> list[tuple[int, int]]:
@@ -576,6 +703,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             batch_window_ms=args.batch_window_ms,
             max_batch=args.max_batch,
             max_queue=args.max_queue,
+            faults=args.faults,
+            fault_rate=args.fault_rate,
+            fault_seed=args.fault_seed,
         )
         host, port = daemon.start()
     except (OSError, ValueError) as exc:
@@ -612,6 +742,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"requests           : {telemetry['requests']}")
         print(f"responses          : {telemetry['responses']}")
         print(f"shed (queue-full)  : {telemetry['shed']}")
+        print(f"degraded (faults)  : {telemetry['degraded']}")
         print(f"batched requests   : {telemetry['batched_requests']}")
         print(f"routes/sec         : {telemetry['routes_per_second']:.1f}")
         print(
@@ -626,7 +757,12 @@ def _command_stats(args: argparse.Namespace) -> int:
     from repro.serve.client import ServeClient, ServeError
 
     try:
-        with ServeClient(args.host, args.port, timeout=10.0) as client:
+        with ServeClient(
+            args.host,
+            args.port,
+            timeout=args.deadline_ms / 1e3,
+            retries=args.retries,
+        ) as client:
             if args.format == "json":
                 _print_json(client.stats())
             else:

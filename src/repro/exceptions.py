@@ -24,6 +24,7 @@ __all__ = [
     "FairnessViolationError",
     "NotRoutableInOneSlotError",
     "SimulationError",
+    "CouplerFailedError",
     "CouplerConflictError",
     "ReceiverConflictError",
     "TransmitterError",
@@ -94,6 +95,24 @@ class NotRoutableInOneSlotError(RoutingError):
 
 class SimulationError(ReproError):
     """Base class for violations of the POPS communication model."""
+
+
+class CouplerFailedError(SimulationError):
+    """Raised when a schedule drives a coupler (or failed processor) that the
+    active :class:`~repro.faults.FaultSpec` has taken down.
+
+    Unlike the model-violation errors, this one is *recoverable*: it carries
+    the slot at which the fault struck, the failed coupler, and the residual
+    packet state (``{packet: current holder}`` for every packet not yet at
+    its destination) so callers can re-route the remaining traffic online
+    over the surviving couplers (see :mod:`repro.faults.reroute`).
+    """
+
+    def __init__(self, message: str, *, slot=None, coupler=None, residual=None):
+        super().__init__(message)
+        self.slot = slot
+        self.coupler = coupler
+        self.residual = dict(residual) if residual else {}
 
 
 class CouplerConflictError(SimulationError):

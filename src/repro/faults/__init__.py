@@ -1,0 +1,47 @@
+"""Fault injection and online recovery for POPS routing.
+
+The subsystem has three pieces, threaded through every layer of the
+pipeline:
+
+* :class:`FaultSpec` — a frozen, hashable description of failed couplers,
+  processors and groups, with a deterministic onset slot and an optional
+  transient window.  :meth:`repro.pops.topology.POPSNetwork.degrade` turns a
+  spec into a :class:`DegradedNetwork`, a reduced-capacity view whose wiring
+  predicates mask the failed hardware.
+
+* Fault-aware execution — :meth:`repro.pops.engine.BatchedSimulator.execute`
+  and :meth:`repro.pops.simulator.POPSSimulator.run_reference` accept a
+  ``faults=`` spec and raise :class:`repro.exceptions.CouplerFailedError`
+  when an active slot drives failed hardware.  The error carries the slot,
+  the coupler and the residual packet state (``{packet: holder}``), and the
+  two engines raise bit-identically (same slot, same residual).
+
+* Online rerouting — :func:`reroute_residual` re-solves the residual traffic
+  as an h-relation-style greedy schedule over the *surviving* couplers
+  (direct hop when the coupler is alive, a two-hop detour through a healthy
+  intermediate group otherwise) and :func:`route_with_recovery` stitches the
+  whole story together: route clean → execute under injection → recover →
+  verify every packet delivered on the degraded topology → report total
+  slots vs the clean ``2⌈d/g⌉`` bound.
+"""
+
+from repro.faults.reroute import (
+    FaultRecoveryReport,
+    ReroutePlan,
+    full_reroute,
+    reroute_residual,
+    route_on_survivors,
+    route_with_recovery,
+)
+from repro.faults.spec import DegradedNetwork, FaultSpec
+
+__all__ = [
+    "FaultSpec",
+    "DegradedNetwork",
+    "ReroutePlan",
+    "FaultRecoveryReport",
+    "reroute_residual",
+    "route_on_survivors",
+    "full_reroute",
+    "route_with_recovery",
+]

@@ -1,0 +1,386 @@
+"""Fault specifications and the degraded-topology view they induce.
+
+A :class:`FaultSpec` names the hardware that fails — couplers by
+``(dest_group, source_group)`` pair, processors by index, whole groups by
+index — and *when*: a deterministic ``onset_slot`` plus an optional
+``transient_slots`` window (``None`` means the fault is permanent).  Specs
+are frozen and hashable, so they can participate in network equality and
+cache keys, and can be drawn seed-deterministically with
+:meth:`FaultSpec.random` or parsed from the CLI's compact ``--faults``
+grammar with :meth:`FaultSpec.parse`.
+
+:class:`DegradedNetwork` is the reduced-capacity view
+:meth:`repro.pops.topology.POPSNetwork.degrade` returns: the same ``(d, g)``
+shape, but every wiring predicate (``can_transmit``/``can_receive``/
+``couplers()``/...) masks out the failed hardware, so schedules validated
+against the view provably avoid it.  The view compares unequal to the clean
+network (the spec participates in ``__eq__``/``__hash__``), which keeps
+degraded plans out of clean cache entries and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.pops.topology import Coupler, POPSNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = ["FaultSpec", "DegradedNetwork"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A frozen description of failed POPS hardware and its onset.
+
+    Attributes
+    ----------
+    failed_couplers:
+        ``(dest_group, source_group)`` pairs of failed couplers.
+    failed_processors:
+        Indices of failed processors (they can neither send nor receive).
+    failed_groups:
+        Indices of failed groups: all their processors fail, and every
+        coupler feeding or fed by the group is masked too.
+    onset_slot:
+        First schedule slot at which the faults are active (0 = from the
+        start).
+    transient_slots:
+        Width of the fault window in slots; ``None`` means permanent.  A
+        transient spec only affects *when* execution trips — the degraded
+        routing view conservatively treats its hardware as failed.
+    """
+
+    failed_couplers: tuple[tuple[int, int], ...] = ()
+    failed_processors: tuple[int, ...] = ()
+    failed_groups: tuple[int, ...] = ()
+    onset_slot: int = 0
+    transient_slots: int | None = field(default=None)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "failed_couplers",
+            tuple(sorted({(int(b), int(a)) for b, a in self.failed_couplers})),
+        )
+        object.__setattr__(
+            self,
+            "failed_processors",
+            tuple(sorted({int(p) for p in self.failed_processors})),
+        )
+        object.__setattr__(
+            self,
+            "failed_groups",
+            tuple(sorted({int(h) for h in self.failed_groups})),
+        )
+        if int(self.onset_slot) < 0:
+            raise ConfigurationError(
+                f"onset_slot must be >= 0, got {self.onset_slot}"
+            )
+        object.__setattr__(self, "onset_slot", int(self.onset_slot))
+        if self.transient_slots is not None:
+            if int(self.transient_slots) <= 0:
+                raise ConfigurationError(
+                    f"transient_slots must be positive or None, "
+                    f"got {self.transient_slots}"
+                )
+            object.__setattr__(self, "transient_slots", int(self.transient_slots))
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the spec names no failed hardware at all."""
+        return not (
+            self.failed_couplers or self.failed_processors or self.failed_groups
+        )
+
+    @property
+    def permanent(self) -> bool:
+        """True when the fault never clears once it strikes."""
+        return self.transient_slots is None
+
+    def active_at(self, slot: int) -> bool:
+        """True when the fault window covers schedule slot ``slot``."""
+        if slot < self.onset_slot:
+            return False
+        if self.transient_slots is None:
+            return True
+        return slot < self.onset_slot + self.transient_slots
+
+    # -- expansion ----------------------------------------------------------
+
+    def failed_coupler_pairs(self, g: int) -> frozenset[tuple[int, int]]:
+        """All failed ``(dest_group, source_group)`` pairs, groups expanded.
+
+        A failed group ``h`` masks every coupler it touches: ``c(x, h)``
+        (nothing in ``h`` can transmit) and ``c(h, x)`` (nothing in ``h``
+        can receive).
+        """
+        pairs = set(self.failed_couplers)
+        for h in self.failed_groups:
+            for x in range(g):
+                pairs.add((x, h))
+                pairs.add((h, x))
+        return frozenset(pairs)
+
+    def failed_coupler_ids(self, g: int) -> frozenset[int]:
+        """The failed couplers as engine coupler ids (``dest * g + source``)."""
+        return frozenset(b * g + a for b, a in self.failed_coupler_pairs(g))
+
+    def failed_processor_set(self, network: POPSNetwork) -> frozenset[int]:
+        """All failed processors, failed groups expanded to their members."""
+        procs = set(self.failed_processors)
+        for h in self.failed_groups:
+            procs.update(network.processors_in_group(h))
+        return frozenset(procs)
+
+    def validate_for(self, network: POPSNetwork) -> None:
+        """Raise :class:`ConfigurationError` if the spec names absent hardware."""
+        g, n = network.g, network.n
+        for b, a in self.failed_couplers:
+            if not (0 <= b < g and 0 <= a < g):
+                raise ConfigurationError(
+                    f"failed coupler c({b},{a}) does not exist in {network!r}"
+                )
+        for p in self.failed_processors:
+            if not (0 <= p < n):
+                raise ConfigurationError(
+                    f"failed processor {p} does not exist in {network!r}"
+                )
+        for h in self.failed_groups:
+            if not (0 <= h < g):
+                raise ConfigurationError(
+                    f"failed group {h} does not exist in {network!r}"
+                )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        network: POPSNetwork,
+        *,
+        coupler_fraction: float = 0.0,
+        n_couplers: int | None = None,
+        n_processors: int = 0,
+        seed: int = 0,
+        onset_slot: int = 0,
+        transient_slots: int | None = None,
+    ) -> FaultSpec:
+        """Draw a seed-deterministic spec for ``network``.
+
+        ``coupler_fraction`` of the ``g^2`` couplers fail (rounded to the
+        nearest count; ``n_couplers`` overrides the fraction with an exact
+        count), plus ``n_processors`` uniformly drawn processors.  The draw
+        never touches couplers feeding or fed by group 0 (the "hub"): with
+        ``c(x, 0)`` and ``c(0, x)`` all alive, every ordered group pair keeps
+        a two-hop path through the hub, so random specs are always
+        reroutable by :func:`repro.faults.reroute.route_on_survivors`
+        (the draw is therefore capped at ``(g-1)^2`` candidates).
+        """
+        rng = np.random.default_rng(seed)
+        g = network.g
+        total = g * g
+        count = (
+            int(n_couplers)
+            if n_couplers is not None
+            else int(round(coupler_fraction * total))
+        )
+        candidates = [(b, a) for b in range(1, g) for a in range(1, g)]
+        count = max(0, min(count, len(candidates)))
+        couplers: tuple[tuple[int, int], ...] = ()
+        if count:
+            chosen = rng.choice(len(candidates), size=count, replace=False)
+            couplers = tuple(candidates[int(i)] for i in chosen)
+        processors: tuple[int, ...] = ()
+        if n_processors:
+            drawn = rng.choice(
+                network.n, size=min(int(n_processors), network.n), replace=False
+            )
+            processors = tuple(int(p) for p in drawn)
+        return cls(
+            failed_couplers=couplers,
+            failed_processors=processors,
+            onset_slot=onset_slot,
+            transient_slots=transient_slots,
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> FaultSpec:
+        """Parse the CLI's compact ``--faults`` grammar.
+
+        Comma-separated tokens: ``cB.A`` (coupler ``c(B, A)``), ``pN``
+        (processor ``N``), ``gN`` (group ``N``), ``onset=K``,
+        ``transient=K``.  Example: ``"c1.0,c2.1,p5,onset=1"``.
+        """
+        couplers: list[tuple[int, int]] = []
+        processors: list[int] = []
+        groups: list[int] = []
+        onset = 0
+        transient: int | None = None
+        for raw in text.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            try:
+                if token.startswith("onset="):
+                    onset = int(token[len("onset="):])
+                elif token.startswith("transient="):
+                    transient = int(token[len("transient="):])
+                elif token[0] == "c":
+                    dest, _, src = token[1:].partition(".")
+                    if not _:
+                        raise ValueError(token)
+                    couplers.append((int(dest), int(src)))
+                elif token[0] == "p":
+                    processors.append(int(token[1:]))
+                elif token[0] == "g":
+                    groups.append(int(token[1:]))
+                else:
+                    raise ValueError(token)
+            except ValueError:
+                raise ConfigurationError(
+                    f"cannot parse fault token {token!r}; expected cB.A / pN / "
+                    f"gN / onset=K / transient=K"
+                ) from None
+        return cls(
+            failed_couplers=tuple(couplers),
+            failed_processors=tuple(processors),
+            failed_groups=tuple(groups),
+            onset_slot=onset,
+            transient_slots=transient,
+        )
+
+    # -- reporting ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Short human-readable summary (used in spans and health payloads)."""
+        parts = []
+        if self.failed_couplers:
+            parts.append(
+                "couplers " + ",".join(f"c({b},{a})" for b, a in self.failed_couplers)
+            )
+        if self.failed_processors:
+            parts.append(
+                "processors " + ",".join(str(p) for p in self.failed_processors)
+            )
+        if self.failed_groups:
+            parts.append("groups " + ",".join(str(h) for h in self.failed_groups))
+        if not parts:
+            parts.append("no faults")
+        window = (
+            "permanent"
+            if self.transient_slots is None
+            else f"transient {self.transient_slots} slots"
+        )
+        return f"{'; '.join(parts)} @ slot {self.onset_slot} ({window})"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "failed_couplers": [list(pair) for pair in self.failed_couplers],
+            "failed_processors": list(self.failed_processors),
+            "failed_groups": list(self.failed_groups),
+            "onset_slot": self.onset_slot,
+            "transient_slots": self.transient_slots,
+        }
+
+
+class DegradedNetwork(POPSNetwork):
+    """A POPS network with a :class:`FaultSpec` masked out of its wiring.
+
+    Same ``(d, g)`` shape as the base network (the clean Theorem 2 bound
+    ``theorem2_slots`` is deliberately unchanged — it is the yardstick the
+    degradation is measured against), but the failed couplers and processors
+    disappear from every wiring predicate, so a schedule that validates
+    against this view provably avoids them.
+    """
+
+    def __init__(self, base: POPSNetwork, spec: FaultSpec):
+        if base.fault_spec is not None:
+            raise ConfigurationError(
+                "cannot degrade an already-degraded network; build one "
+                "FaultSpec covering all faults instead"
+            )
+        if not isinstance(spec, FaultSpec):
+            raise ConfigurationError(
+                f"degrade() takes a FaultSpec, got {type(spec).__name__}"
+            )
+        spec.validate_for(base)
+        super().__init__(base.d, base.g)
+        self.fault_spec = spec
+        self._failed_pairs = spec.failed_coupler_pairs(base.g)
+        self._failed_processors = spec.failed_processor_set(base)
+
+    # -- fault predicates ---------------------------------------------------
+
+    def coupler_failed(self, coupler: Coupler) -> bool:
+        """True iff ``coupler`` is masked by the fault spec."""
+        return (coupler.dest_group, coupler.source_group) in self._failed_pairs
+
+    def processor_failed(self, processor: int) -> bool:
+        """True iff ``processor`` is masked by the fault spec."""
+        return processor in self._failed_processors
+
+    @property
+    def n_failed_couplers(self) -> int:
+        """Number of couplers the spec masks (groups expanded)."""
+        return len(self._failed_pairs)
+
+    @property
+    def n_failed_processors(self) -> int:
+        """Number of processors the spec masks (groups expanded)."""
+        return len(self._failed_processors)
+
+    # -- masked wiring ------------------------------------------------------
+
+    def couplers(self) -> list[Coupler]:
+        """The *surviving* couplers, ordered by (dest_group, source_group)."""
+        return [c for c in super().couplers() if not self.coupler_failed(c)]
+
+    def transmit_couplers(self, processor: int) -> list[Coupler]:
+        """Surviving couplers ``processor`` can drive ([] when it failed)."""
+        if self.processor_failed(processor):
+            return []
+        return [
+            c
+            for c in super().transmit_couplers(processor)
+            if not self.coupler_failed(c)
+        ]
+
+    def receive_couplers(self, processor: int) -> list[Coupler]:
+        """Surviving couplers ``processor`` can read ([] when it failed)."""
+        if self.processor_failed(processor):
+            return []
+        return [
+            c
+            for c in super().receive_couplers(processor)
+            if not self.coupler_failed(c)
+        ]
+
+    def can_transmit(self, processor: int, coupler: Coupler) -> bool:
+        return (
+            super().can_transmit(processor, coupler)
+            and not self.coupler_failed(coupler)
+            and not self.processor_failed(processor)
+        )
+
+    def can_receive(self, processor: int, coupler: Coupler) -> bool:
+        return (
+            super().can_receive(processor, coupler)
+            and not self.coupler_failed(coupler)
+            and not self.processor_failed(processor)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DegradedNetwork(d={self.d}, g={self.g}, "
+            f"failed_couplers={len(self._failed_pairs)}, "
+            f"failed_processors={len(self._failed_processors)})"
+        )

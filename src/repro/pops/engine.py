@@ -557,13 +557,39 @@ class BatchedSimulator:
             store.put(cache_key, compiled)
         return compiled
 
-    def execute(self, compiled: CompiledSchedule) -> np.ndarray:
-        """Run a compiled schedule, returning the final packet-location array."""
+    def execute(self, compiled: CompiledSchedule, faults=None) -> np.ndarray:
+        """Run a compiled schedule, returning the final packet-location array.
+
+        ``faults`` opts into fault injection: a
+        :class:`~repro.faults.FaultSpec` whose hardware is checked at the
+        start of every slot inside the fault window.  Driving a failed
+        coupler (or scheduling a failed processor) raises
+        :class:`~repro.exceptions.CouplerFailedError` carrying the slot, the
+        coupler, and the residual packet state — bit-identical to the
+        reference simulator's fault path
+        (:meth:`repro.pops.simulator.POPSSimulator.run_reference`).
+        """
+        if faults is not None and faults.is_empty:
+            faults = None
+        if faults is not None:
+            g = self.network.g
+            coupler_failed = np.zeros(g * g, dtype=bool)
+            ids = faults.failed_coupler_ids(g)
+            if ids:
+                coupler_failed[list(ids)] = True
+            proc_failed = np.zeros(self.network.n, dtype=bool)
+            procs = faults.failed_processor_set(self.network)
+            if procs:
+                proc_failed[list(procs)] = True
         loc = compiled.initial_loc.copy()
         packets = compiled.packets
         tx_ptr, del_ptr, con_ptr = compiled.tx_ptr, compiled.del_ptr, compiled.con_ptr
         strict = self.strict_receptions
         for s in range(compiled.n_slots):
+            if faults is not None and faults.active_at(s):
+                self._check_faults(
+                    compiled, s, loc, coupler_failed, proc_failed
+                )
             senders = compiled.tx_sender[tx_ptr[s]:tx_ptr[s + 1]]
             sent = compiled.tx_packet[tx_ptr[s]:tx_ptr[s + 1]]
             held = loc[sent] == senders
@@ -585,6 +611,59 @@ class BatchedSimulator:
                 compiled.del_receiver[del_ptr[s]:del_ptr[s + 1]]
             )
         return loc
+
+    def _check_faults(
+        self,
+        compiled: CompiledSchedule,
+        s: int,
+        loc: np.ndarray,
+        coupler_failed: np.ndarray,
+        proc_failed: np.ndarray,
+    ) -> None:
+        """Raise :class:`CouplerFailedError` if slot ``s`` touches failed hardware.
+
+        Check order matches the reference simulator's fault path exactly —
+        driven couplers first, then failed senders, then failed receivers —
+        and the residual state is the location array at the *start* of the
+        slot, so both engines raise bit-identically.
+        """
+        from repro.exceptions import CouplerFailedError
+
+        g = self.network.g
+        pay = compiled.pay_coupler[compiled.pay_ptr[s]:compiled.pay_ptr[s + 1]]
+        coupler = None
+        message = None
+        hit = np.flatnonzero(coupler_failed[pay])
+        if hit.size:
+            cid = int(pay[hit[0]])
+            coupler = Coupler(cid // g, cid % g)
+            message = f"slot {s}: {coupler!r} is failed under the active fault spec"
+        else:
+            senders = compiled.tx_sender[compiled.tx_ptr[s]:compiled.tx_ptr[s + 1]]
+            bad = np.flatnonzero(proc_failed[senders])
+            if bad.size:
+                message = (
+                    f"slot {s}: failed processor {int(senders[bad[0]])} "
+                    "is scheduled to transmit"
+                )
+            else:
+                receivers = compiled.del_receiver[
+                    compiled.del_ptr[s]:compiled.del_ptr[s + 1]
+                ]
+                bad = np.flatnonzero(proc_failed[receivers])
+                if not bad.size:
+                    return
+                message = (
+                    f"slot {s}: failed processor {int(receivers[bad[0]])} "
+                    "is scheduled to receive"
+                )
+        undelivered = np.flatnonzero(
+            (loc != compiled.pk_destination) & (loc >= 0)
+        )
+        residual = {
+            compiled.packets[int(k)]: int(loc[k]) for k in undelivered
+        }
+        raise CouplerFailedError(message, slot=s, coupler=coupler, residual=residual)
 
     def verify_locations(self, compiled: CompiledSchedule, loc: np.ndarray) -> None:
         """Vectorized delivery check: every packet sits at its destination.

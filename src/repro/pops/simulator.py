@@ -209,6 +209,7 @@ class POPSSimulator:
         schedule: RoutingSchedule,
         packets: list[Packet],
         initial_buffers: dict[int, list[Packet]] | None = None,
+        faults=None,
     ) -> SimulationResult:
         """The reference slot-by-slot execution path.
 
@@ -216,8 +217,21 @@ class POPSSimulator:
         :data:`repro.api.registry.SIM_ENGINES` can fall back to it for
         schedules outside their model (as the batched engine does for
         packet-duplicating broadcasts).
+
+        ``faults`` opts into fault injection: a
+        :class:`~repro.faults.FaultSpec` checked at the start of every slot
+        inside the fault window.  Touching failed hardware raises
+        :class:`~repro.exceptions.CouplerFailedError` with the residual
+        packet state, bit-identical (same slot, same residual) to
+        :meth:`repro.pops.engine.BatchedSimulator.execute` under the same
+        spec.
         """
         schedule.validate()
+        if faults is not None and faults.is_empty:
+            faults = None
+        if faults is not None:
+            failed_pairs = faults.failed_coupler_pairs(self.network.g)
+            failed_procs = faults.failed_processor_set(self.network)
         buffers = (
             {proc: list(held) for proc, held in initial_buffers.items()}
             if initial_buffers is not None
@@ -225,8 +239,76 @@ class POPSSimulator:
         )
         trace = SimulationTrace()
         for slot_index, slot in enumerate(schedule.slots):
+            if faults is not None and faults.active_at(slot_index):
+                self._check_slot_faults(
+                    slot_index, slot, buffers, packets, failed_pairs, failed_procs
+                )
             trace.slots.append(self._run_slot(slot_index, slot, buffers))
         return SimulationResult(network=self.network, buffers=buffers, trace=trace)
+
+    def _check_slot_faults(
+        self,
+        slot_index: int,
+        slot: SlotProgram,
+        buffers: dict[int, list[Packet]],
+        packets: list[Packet],
+        failed_pairs: frozenset[tuple[int, int]],
+        failed_procs: frozenset[int],
+    ) -> None:
+        """Raise :class:`CouplerFailedError` if ``slot`` touches failed hardware.
+
+        Check order mirrors the batched engine's fault path — driven couplers
+        first, then failed senders, then failed receivers of carrying
+        couplers — and the residual is taken before the slot executes, so
+        both engines raise bit-identically.
+        """
+        from repro.exceptions import CouplerFailedError
+
+        coupler = None
+        message = None
+        for transmission in slot.transmissions:
+            pair = (
+                transmission.coupler.dest_group,
+                transmission.coupler.source_group,
+            )
+            if pair in failed_pairs:
+                coupler = transmission.coupler
+                message = (
+                    f"slot {slot_index}: {coupler!r} is failed under the "
+                    "active fault spec"
+                )
+                break
+        if message is None:
+            for transmission in slot.transmissions:
+                if transmission.sender in failed_procs:
+                    message = (
+                        f"slot {slot_index}: failed processor "
+                        f"{transmission.sender} is scheduled to transmit"
+                    )
+                    break
+        if message is None:
+            driven = {t.coupler for t in slot.transmissions}
+            for reception in slot.receptions:
+                if reception.receiver in failed_procs and reception.coupler in driven:
+                    message = (
+                        f"slot {slot_index}: failed processor "
+                        f"{reception.receiver} is scheduled to receive"
+                    )
+                    break
+        if message is None:
+            return
+        holder_of: dict[Packet, int] = {}
+        for proc, held in buffers.items():
+            for packet in held:
+                holder_of.setdefault(packet, proc)
+        residual = {
+            packet: holder_of[packet]
+            for packet in packets
+            if packet in holder_of and holder_of[packet] != packet.destination
+        }
+        raise CouplerFailedError(
+            message, slot=slot_index, coupler=coupler, residual=residual
+        )
 
     def _run_slot(
         self, slot_index: int, slot: SlotProgram, buffers: dict[int, list[Packet]]

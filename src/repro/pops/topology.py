@@ -52,6 +52,13 @@ class POPSNetwork:
 
     __slots__ = ("_d", "_g", "__dict__")
 
+    #: Fault specification masking this network, ``None`` for the clean
+    #: topology.  Set (as an instance attribute) by
+    #: :class:`repro.faults.DegradedNetwork`; it participates in
+    #: equality/hashing so a degraded view never aliases the clean network
+    #: in schedule caches or ``schedule.network == simulator.network`` checks.
+    fault_spec = None
+
     def __init__(self, d: int, g: int):
         check_positive_int(d, "d")
         check_positive_int(g, "g")
@@ -176,15 +183,43 @@ class POPSNetwork:
         """True iff ``processor`` owns a receiver from ``coupler``."""
         return coupler.dest_group == self.group_of(processor)
 
+    # -- fault masking -----------------------------------------------------------------
+
+    def coupler_failed(self, coupler: Coupler) -> bool:
+        """True iff ``coupler`` is masked by a fault spec (never, when clean)."""
+        return False
+
+    def processor_failed(self, processor: int) -> bool:
+        """True iff ``processor`` is masked by a fault spec (never, when clean)."""
+        return False
+
+    def degrade(self, spec) -> "POPSNetwork":
+        """A reduced-capacity view of this network under ``spec``.
+
+        Returns a :class:`repro.faults.DegradedNetwork` — same ``(d, g)``
+        shape, but couplers and processors named by the
+        :class:`~repro.faults.FaultSpec` are masked out of the wiring
+        predicates (``can_transmit``/``can_receive``/``couplers()``/...), so
+        schedules validated against the view provably avoid the failed
+        hardware.  The view compares unequal to the clean network.
+        """
+        from repro.faults import DegradedNetwork
+
+        return DegradedNetwork(self, spec)
+
     # -- dunder ------------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, POPSNetwork):
             return NotImplemented
-        return self._d == other._d and self._g == other._g
+        return (
+            self._d == other._d
+            and self._g == other._g
+            and self.fault_spec == other.fault_spec
+        )
 
     def __hash__(self) -> int:
-        return hash((self._d, self._g))
+        return hash((self._d, self._g, self.fault_spec))
 
     def __repr__(self) -> str:
         return f"POPSNetwork(d={self._d}, g={self._g})"

@@ -36,6 +36,7 @@ except in latency — and in the ``batch_size`` field the daemon reports back.
 from __future__ import annotations
 
 import queue
+import random
 import threading
 import time
 from concurrent.futures import Future
@@ -45,6 +46,7 @@ from typing import Any
 import numpy as np
 
 from repro.api.session import Session
+from repro.faults import FaultSpec, route_with_recovery
 from repro.obs import get_tracer
 from repro.pops.topology import POPSNetwork
 from repro.serve.telemetry import ServeTelemetry
@@ -72,6 +74,7 @@ class BatchResult:
     metrics: Any               # RoutingMetrics
     batch_size: int            # how many requests shared the kernel call
     stage_seconds: dict[str, float]  # queue_wait / batch_assembly / route
+    degraded: bool = False     # routed through fault recovery
 
 
 @dataclass
@@ -109,6 +112,18 @@ class DynamicBatcher:
         A batch closes early once this many requests are collected.
     max_queue:
         Bound of the request queue; beyond it :meth:`submit` sheds.
+    faults:
+        Optional :class:`~repro.faults.FaultSpec` injected into dispatches
+        (chaos testing).  A struck dispatch routes each member through
+        :func:`~repro.faults.route_with_recovery` — clean plan, injected
+        execution, online reroute over the survivors — and resolves its
+        future with ``degraded=True``.
+    fault_rate:
+        Probability (per dispatch group) that ``faults`` strikes, drawn from
+        a deterministic seeded stream; ``1.0`` (default) strikes every
+        dispatch.  Ignored when ``faults`` is ``None``.
+    fault_seed:
+        Seed of the strike stream — same seed, same strike sequence.
     """
 
     def __init__(
@@ -119,6 +134,9 @@ class DynamicBatcher:
         batch_window: float = 0.002,
         max_batch: int = 64,
         max_queue: int = 1024,
+        faults: FaultSpec | None = None,
+        fault_rate: float = 1.0,
+        fault_seed: int = 0,
     ):
         if batch_window < 0:
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
@@ -126,10 +144,15 @@ class DynamicBatcher:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
         self._session = session
         self._telemetry = telemetry
         self.batch_window = batch_window
         self.max_batch = max_batch
+        self.faults = faults
+        self.fault_rate = fault_rate
+        self._fault_rng = random.Random(fault_seed)
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._sessions: dict[str, Session] = {
             session.config.router_backend: session
@@ -258,12 +281,22 @@ class DynamicBatcher:
             self._sessions[backend] = session
         return session
 
+    def _strikes(self) -> bool:
+        """Does the fault injector hit this dispatch group?  Deterministic."""
+        if self.faults is None or self.fault_rate <= 0.0:
+            return False
+        return self.fault_rate >= 1.0 or self._fault_rng.random() < self.fault_rate
+
     def _dispatch(self, items: list[_Pending]) -> None:
         """Group the collected requests by shape and route each group."""
         groups: dict[tuple[int, int, int, str], list[_Pending]] = {}
         for item in items:
             groups.setdefault(item.key, []).append(item)
         for (d, g, _n, backend), members in groups.items():
+            network = POPSNetwork(d, g)
+            if self._strikes():
+                self._dispatch_degraded(members, network, backend)
+                continue
             t_route_start = time.perf_counter()
             try:
                 with get_tracer().span(
@@ -271,7 +304,6 @@ class DynamicBatcher:
                     batch=len(members),
                 ):
                     session = self._session_for(backend)
-                    network = POPSNetwork(d, g)
                     if len(members) == 1:
                         metrics_list = [
                             session.route(members[0].pi, network=network)
@@ -280,8 +312,7 @@ class DynamicBatcher:
                         stack = np.stack([member.pi for member in members])
                         metrics_list = session.route_batch(stack, network=network)
             except Exception as exc:
-                for member in members:
-                    member.future.set_exception(exc)
+                self._replay_survivors(members, network, backend, exc)
                 continue
             t_route_end = time.perf_counter()
             self._telemetry.record_batch(len(members))
@@ -298,3 +329,102 @@ class DynamicBatcher:
                         },
                     )
                 )
+
+    def _replay_survivors(
+        self,
+        members: list[_Pending],
+        network: POPSNetwork,
+        backend: str,
+        batch_exc: Exception,
+    ) -> None:
+        """Graceful degradation of a failed batch: replay members singly.
+
+        One poisoned permutation (or one fault-struck element) must not take
+        its batch peers down with it.  A singleton batch just propagates its
+        error; a real batch is replayed per element on the single-route path
+        so every member that can route still gets a real answer, and only
+        the actually-failing members see an exception.
+        """
+        if len(members) == 1:
+            members[0].future.set_exception(batch_exc)
+            return
+        session = self._session_for(backend)
+        for member in members:
+            t_start = time.perf_counter()
+            try:
+                with get_tracer().span(
+                    "serve.dispatch", d=network.d, g=network.g,
+                    backend=backend, batch=1, replay=True,
+                ):
+                    metrics = session.route(member.pi, network=network)
+            except Exception as exc:
+                member.future.set_exception(exc)
+                continue
+            self._telemetry.record_batch(1)
+            member.future.set_result(
+                BatchResult(
+                    metrics=metrics,
+                    batch_size=1,
+                    stage_seconds={
+                        "queue_wait": member.t_collected - member.t_submit,
+                        "batch_assembly": 0.0,
+                        "route": time.perf_counter() - t_start,
+                    },
+                )
+            )
+
+    def _dispatch_degraded(
+        self, members: list[_Pending], network: POPSNetwork, backend: str
+    ) -> None:
+        """Route a fault-struck dispatch member-by-member with recovery.
+
+        Each member runs the full pipeline — clean plan, injected execution,
+        online reroute over the surviving couplers, verified delivery — and
+        gets back real :class:`~repro.analysis.metrics.RoutingMetrics` whose
+        ``slots`` is the degraded total (executed before the fault plus the
+        reroute), so clients see the true cost of the failure.
+        """
+        from repro.analysis.metrics import RoutingMetrics
+        from repro.routing.lower_bounds import best_known_lower_bound
+
+        assert self.faults is not None
+        d, g = network.d, network.g
+        for member in members:
+            t_start = time.perf_counter()
+            try:
+                with get_tracer().span(
+                    "serve.dispatch", d=d, g=g, backend=backend,
+                    batch=1, fault_injected=True,
+                ):
+                    report = route_with_recovery(
+                        network, member.pi, self.faults, router_backend=backend
+                    )
+                    capacity = report.total_slots * g * g
+                    metrics = RoutingMetrics(
+                        d=d,
+                        g=g,
+                        n=network.n,
+                        slots=report.total_slots,
+                        theorem2_bound=report.theorem2_bound,
+                        lower_bound=best_known_lower_bound(network, member.pi),
+                        couplers_used_total=report.packets_moved,
+                        mean_coupler_utilisation=(
+                            report.packets_moved / capacity if capacity else 0.0
+                        ),
+                    )
+            except Exception as exc:
+                member.future.set_exception(exc)
+                continue
+            self._telemetry.record_batch(1)
+            member.future.set_result(
+                BatchResult(
+                    metrics=metrics,
+                    batch_size=1,
+                    stage_seconds={
+                        "queue_wait": member.t_collected - member.t_submit,
+                        "batch_assembly": 0.0,
+                        "route": time.perf_counter() - t_start,
+                    },
+                    degraded=report.fault_triggered,
+                )
+            )

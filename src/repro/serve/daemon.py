@@ -35,10 +35,13 @@ from typing import Any
 
 import numpy as np
 
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
 from repro.api.config import RunConfig
 from repro.api.registry import ROUTER_BACKENDS, ensure_builtin_backends
 from repro.api.session import Session
-from repro.exceptions import ConfigurationError, ValidationError
+from repro.exceptions import ConfigurationError, RoutingError, SimulationError, ValidationError
+from repro.faults import FaultSpec
 from repro.obs import get_tracer
 from repro.obs.metrics import MetricsRegistry
 from repro.serve import protocol
@@ -72,6 +75,12 @@ class ServeDaemon:
         Batch closes early at this many coalesced requests.
     max_queue:
         Bound of the request queue (beyond it requests are shed).
+    faults / fault_rate / fault_seed:
+        Chaos-testing knobs, forwarded to the batcher: ``faults`` is a
+        :class:`~repro.faults.FaultSpec` injected into dispatches with
+        probability ``fault_rate`` per dispatch (deterministic under
+        ``fault_seed``).  Struck requests are recovered online over the
+        surviving couplers and answered with ``"degraded": true``.
     """
 
     def __init__(
@@ -83,6 +92,9 @@ class ServeDaemon:
         batch_window_ms: float = 2.0,
         max_batch: int = 64,
         max_queue: int = 1024,
+        faults: FaultSpec | None = None,
+        fault_rate: float = 1.0,
+        fault_seed: int = 0,
     ):
         ensure_builtin_backends()
         if config is None:
@@ -98,6 +110,9 @@ class ServeDaemon:
             batch_window=batch_window_ms / 1e3,
             max_batch=max_batch,
             max_queue=max_queue,
+            faults=faults,
+            fault_rate=fault_rate,
+            fault_seed=fault_seed,
         )
         self._host = host
         self._port = port
@@ -264,6 +279,8 @@ class ServeDaemon:
             return self._send(conn, {"ok": True, "metrics": self.metrics_text()})
         if op == "ping":
             return self._send(conn, {"ok": True, "pong": True})
+        if op == "health":
+            return self._send(conn, {"ok": True, "health": self.health()})
         self.telemetry.record_error(protocol.ERR_UNKNOWN_OP)
         return self._send(conn, protocol.error_response(
             protocol.ERR_UNKNOWN_OP, f"unknown op {op!r}"
@@ -273,7 +290,7 @@ class ServeDaemon:
 
     def _parse_route(
         self, request: dict[str, Any]
-    ) -> tuple[np.ndarray, int, int, str]:
+    ) -> tuple[np.ndarray, int, int, str, float | None]:
         """Validate a route request's fields; raises ``ValidationError``."""
         d, g = request.get("d"), request.get("g")
         for name, value in (("d", d), ("g", g)):
@@ -301,7 +318,16 @@ class ServeDaemon:
                 f"pi has length {images.shape[0]}, the POPS(d={d}, g={g}) "
                 f"network needs n = {d * g}"
             )
-        return images, d, g, backend
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None:
+            if isinstance(deadline_ms, bool) or not isinstance(
+                deadline_ms, (int, float)
+            ) or deadline_ms <= 0:
+                raise ValidationError(
+                    f"deadline_ms must be a positive number, got {deadline_ms!r}"
+                )
+        deadline_s = float(deadline_ms) / 1e3 if deadline_ms is not None else None
+        return images, d, g, backend, deadline_s
 
     def _handle_route(self, conn: socket.socket, request: dict[str, Any]) -> bool:
         self.telemetry.record_request()
@@ -311,7 +337,7 @@ class ServeDaemon:
                 protocol.ERR_SHUTTING_DOWN, "daemon is shutting down"
             ))
         try:
-            images, d, g, backend = self._parse_route(request)
+            images, d, g, backend, deadline_s = self._parse_route(request)
         except ValidationError as exc:
             self.telemetry.record_error(protocol.ERR_BAD_REQUEST)
             return self._send(conn, protocol.error_response(
@@ -333,7 +359,16 @@ class ServeDaemon:
             self._inflight += 1
         try:
             try:
-                result = future.result()
+                result = future.result(timeout=deadline_s)
+            except FutureTimeoutError:
+                # The batcher will still resolve the future eventually; only
+                # the answer's usefulness expired, so tell the client that
+                # with a structured code instead of leaving it hanging.
+                self.telemetry.record_error(protocol.ERR_DEADLINE)
+                return self._send(conn, protocol.error_response(
+                    protocol.ERR_DEADLINE,
+                    f"request not routed within deadline_ms={deadline_s * 1e3:g}",
+                ))
             except ShuttingDownError as exc:
                 self.telemetry.record_error(protocol.ERR_SHUTTING_DOWN)
                 return self._send(conn, protocol.error_response(
@@ -346,16 +381,26 @@ class ServeDaemon:
                 return self._send(conn, protocol.error_response(
                     protocol.ERR_BAD_REQUEST, str(exc)
                 ))
+            except (RoutingError, SimulationError) as exc:
+                # The daemon is healthy but the injected fault spec leaves
+                # this traffic unroutable on the surviving hardware.
+                self.telemetry.record_error(protocol.ERR_DEGRADED)
+                return self._send(conn, protocol.error_response(
+                    protocol.ERR_DEGRADED, str(exc)
+                ))
             except Exception as exc:
                 self.telemetry.record_error(protocol.ERR_INTERNAL)
                 return self._send(conn, protocol.error_response(
                     protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
                 ))
             t_respond = time.perf_counter()
+            if result.degraded:
+                self.telemetry.record_degraded()
             sent = self._send(conn, {
                 "ok": True,
                 "metrics": result.metrics.to_dict(),
                 "batch_size": result.batch_size,
+                "degraded": result.degraded,
             })
             if sent:
                 stage_seconds = {
@@ -413,6 +458,36 @@ class ServeDaemon:
             "telemetry": self.telemetry.snapshot(),
             "cache": self.session.cache_stats(),
             "plan_store": store.stats() if store is not None else None,
+            "faults": (
+                self.batcher.faults.describe()
+                if self.batcher.faults is not None
+                else None
+            ),
+            "fault_rate": self.batcher.fault_rate,
+        }
+
+    # -- the health request --------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """The ``health`` response payload: liveness + degradation summary.
+
+        ``status`` is ``"ok"`` while the daemon accepts work and
+        ``"shutting-down"`` once drain began; the fault fields surface the
+        injected chaos configuration and how many responses were served
+        through online recovery, so an operator (or the chaos-smoke CI
+        step) can tell a degraded-but-available daemon from a dead one.
+        """
+        faults = self.batcher.faults
+        return {
+            "status": "shutting-down" if self._shutting_down else "ok",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "faults": faults.describe() if faults is not None else None,
+            "fault_rate": self.batcher.fault_rate if faults is not None else 0.0,
+            "requests": self.telemetry.requests,
+            "responses": self.telemetry.responses,
+            "shed": self.telemetry.shed,
+            "degraded_responses": self.telemetry.degraded,
+            "queue_depth": self.batcher.queue_depth,
         }
 
     # -- the metrics request -------------------------------------------------

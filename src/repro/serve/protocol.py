@@ -15,10 +15,12 @@ bytes, so the stream is still aligned.
 
 Request vocabulary (the ``op`` key selects the operation)::
 
-    {"op": "route", "pi": [...], "d": 8, "g": 4}        # optional "backend"
+    {"op": "route", "pi": [...], "d": 8, "g": 4}        # optional "backend",
+                                                        # optional "deadline_ms"
     {"op": "stats"}
     {"op": "metrics"}    # Prometheus-style text exposition of daemon metrics
     {"op": "ping"}
+    {"op": "health"}     # liveness + degradation summary (fault injection)
 
 Responses carry ``{"ok": true, ...}`` on success and
 ``{"ok": false, "error": {"code": ..., "message": ...}}`` on failure; the
@@ -37,6 +39,8 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "ERR_BAD_REQUEST",
+    "ERR_DEADLINE",
+    "ERR_DEGRADED",
     "ERR_INTERNAL",
     "ERR_MALFORMED_JSON",
     "ERR_OVERSIZED_FRAME",
@@ -68,6 +72,13 @@ ERR_UNKNOWN_OP = "unknown-op"
 ERR_QUEUE_FULL = "queue-full"
 ERR_SHUTTING_DOWN = "shutting-down"
 ERR_INTERNAL = "internal-error"
+#: The request named a deadline (``deadline_ms``) and routing did not finish
+#: inside it; the work may still complete server-side but the answer is gone.
+ERR_DEADLINE = "deadline-exceeded"
+#: Routing could not be completed even on the degraded topology — the fault
+#: spec disconnects the traffic (distinct from ``internal-error``: the daemon
+#: is healthy, the surviving hardware just cannot carry the request).
+ERR_DEGRADED = "degraded"
 
 _HEADER = struct.Struct(">I")
 

@@ -61,6 +61,7 @@ class ServeTelemetry:
         self._requests = self.registry.counter("serve_requests")
         self._responses = self.registry.counter("serve_responses")
         self._shed = self.registry.counter("serve_shed")
+        self._degraded = self.registry.counter("serve_degraded")
 
     # -- compatible counter reads -------------------------------------------
 
@@ -78,6 +79,11 @@ class ServeTelemetry:
     def shed(self) -> int:
         """Requests rejected with queue-full."""
         return self._shed.value
+
+    @property
+    def degraded(self) -> int:
+        """Responses answered via fault recovery on a degraded topology."""
+        return self._degraded.value
 
     @property
     def errors(self) -> dict[str, int]:
@@ -107,6 +113,10 @@ class ServeTelemetry:
         self._shed.inc()
         self.record_error("queue-full")
 
+    def record_degraded(self) -> None:
+        """One response served through online fault recovery."""
+        self._degraded.inc()
+
     def record_error(self, code: str) -> None:
         self.registry.counter("serve_errors", code=code).inc()
 
@@ -135,6 +145,7 @@ class ServeTelemetry:
             "requests": self.requests,
             "responses": responses,
             "shed": self.shed,
+            "degraded": self.degraded,
             "errors": self.errors,
             "routes_per_second": responses / uptime if uptime > 0 else 0.0,
             "batch_size_histogram": {str(size): count for size, count in sizes.items()},

@@ -141,7 +141,7 @@ class TestExperimentRunners:
 
         ensure_experiments()
         assert sorted(EXPERIMENTS.names()) == sorted(
-            [f"E{i}" for i in range(1, 10)] + ["E1p"]
+            [f"E{i}" for i in range(1, 13)] + ["E1p"]
         )
 
     def test_e1_batched_backend_matches(self):

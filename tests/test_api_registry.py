@@ -87,9 +87,10 @@ class TestBuiltinRegistrations:
 
     def test_experiments(self):
         ensure_experiments()
-        assert {"E1", "E1p", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} == set(
-            EXPERIMENTS.names()
-        )
+        assert {
+            "E1", "E1p", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+            "E10", "E11", "E12",
+        } == set(EXPERIMENTS.names())
 
 
 class TestPluggability:

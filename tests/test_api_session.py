@@ -157,7 +157,8 @@ class TestSweepAndRunAll:
 
         ensure_experiments()
         assert sorted(EXPERIMENTS.names()) == [
-            "E1", "E1p", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+            "E1", "E10", "E11", "E12", "E1p",
+            "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
         ]
 
 

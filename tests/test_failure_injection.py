@@ -10,7 +10,11 @@ and the benchmarks report meaningless slot counts.
 
 from __future__ import annotations
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import (
     CouplerConflictError,
@@ -123,6 +127,102 @@ class TestScheduleCorruption:
         result = simulator.run(plan.schedule, plan.packets)
         with pytest.raises(DeliveryError):
             result.verify_permutation_delivery(plan.packets)
+
+
+def _fresh_plan(seed: int):
+    """A clean routed plan, rebuilt per corruption so mutations don't leak."""
+    network = POPSNetwork(3, 3)
+    pi = random_permutation(network.n, random.Random(seed))
+    return network, PermutationRouter(network).route(pi)
+
+
+def _corrupt_duplicate_coupler(network, plan):
+    slot = plan.schedule.slots[0]
+    victim = slot.transmissions[0]
+    other_sender = next(
+        p
+        for p in network.processors_in_group(network.group_of(victim.sender))
+        if p != victim.sender
+    )
+    slot.transmissions.append(
+        Transmission(other_sender, victim.coupler, Packet(other_sender, 0), True)
+    )
+
+
+def _corrupt_receiver_reads_twice(network, plan):
+    slot = plan.schedule.slots[0]
+    existing = slot.receptions[0]
+    other_coupler = next(
+        c for c in network.receive_couplers(existing.receiver) if c != existing.coupler
+    )
+    slot.receptions.append(Reception(existing.receiver, other_coupler))
+
+
+def _corrupt_dropped_transmission(network, plan):
+    plan.schedule.slots[0].transmissions.pop()
+
+
+def _corrupt_packet_never_held(network, plan):
+    slot = plan.schedule.slots[0]
+    victim = slot.transmissions[0]
+    foreign_packet = next(p for p in plan.packets if p.source != victim.sender)
+    slot.transmissions[0] = Transmission(
+        victim.sender, victim.coupler, foreign_packet, victim.consume
+    )
+
+
+def _corrupt_dropped_reception(network, plan):
+    plan.schedule.slots[-1].receptions.pop()
+
+
+_CORRUPTIONS = {
+    "duplicate-coupler-drive": _corrupt_duplicate_coupler,
+    "receiver-reads-twice": _corrupt_receiver_reads_twice,
+    "dropped-transmission": _corrupt_dropped_transmission,
+    "packet-never-held": _corrupt_packet_never_held,
+    "dropped-reception": _corrupt_dropped_reception,
+}
+
+
+def _failure_class(network, plan, backend: str):
+    """Exception class a corrupted plan raises on ``backend`` (run or verify)."""
+    try:
+        result = POPSSimulator(network, backend=backend).run(
+            plan.schedule, plan.packets
+        )
+    except Exception as exc:  # noqa: BLE001 - the class is the assertion
+        return type(exc)
+    try:
+        result.verify_permutation_delivery(plan.packets)
+    except Exception as exc:  # noqa: BLE001
+        return type(exc)
+    return None
+
+
+class TestCorruptionParityAcrossEngines:
+    """Corrupted schedules fail identically on every engine.
+
+    The reference simulator defines the failure semantics; the vectorized
+    engines (and the shape-dispatching ``auto``) must raise the *same
+    exception class* for the same corruption — otherwise callers handling
+    failures portably across engines (the session facade, the serving
+    daemon's error mapping) would behave differently depending on which
+    engine happened to execute the schedule.
+    """
+
+    @pytest.mark.parametrize("backend", ("batched", "batched-collective", "auto"))
+    @pytest.mark.parametrize("corruption", sorted(_CORRUPTIONS))
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=6, deadline=None)
+    def test_same_exception_class_as_reference(self, backend, corruption, seed):
+        corrupt = _CORRUPTIONS[corruption]
+        network, plan = _fresh_plan(seed)
+        corrupt(network, plan)
+        expected = _failure_class(network, plan, "reference")
+        assert expected is not None, "corruption must break the reference run"
+        network, plan = _fresh_plan(seed)
+        corrupt(network, plan)
+        assert _failure_class(network, plan, backend) is expected
 
 
 class TestSimulatorStateIsolation:

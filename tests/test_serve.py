@@ -555,3 +555,296 @@ class TestServeCli:
         summary = json.loads("\n".join(lines[1:]))
         assert summary["telemetry"]["responses"] == 2
         assert summary["telemetry"]["batch_size_histogram"] == {"2": 1}
+
+
+# ---------------------------------------------------------------------------
+# resilience: deadlines, retry/backoff, fault-degraded serving
+
+
+class TestClientResilience:
+    def test_default_timeout_is_finite(self):
+        from repro.serve.client import DEFAULT_TIMEOUT
+
+        assert DEFAULT_TIMEOUT == 30.0
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            with ServeClient(*daemon.address) as client:
+                # A hung daemon must never hang the client forever: the
+                # default socket timeout is the finite module default.
+                assert client._sock.gettimeout() == DEFAULT_TIMEOUT
+
+    def test_client_side_deadline_raises_deadline_code(self, monkeypatch):
+        release = threading.Event()
+        original_route = Session.route
+
+        def slow_route(self, pi, **kwargs):
+            release.wait(timeout=10.0)
+            return original_route(self, pi, **kwargs)
+
+        monkeypatch.setattr(Session, "route", slow_route)
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            client = ServeClient(*daemon.address, timeout=0.2)
+            try:
+                with pytest.raises(ServeError) as excinfo:
+                    client.route(random_pis(16, 1)[0], d=4, g=4)
+                assert excinfo.value.code == protocol.ERR_DEADLINE
+                # The connection is dropped: a late response left on the
+                # stream would desynchronise every later request.
+                assert client._sock is None
+            finally:
+                client.close()
+                release.set()
+
+    def test_daemon_deadline_ms_maps_to_deadline_code(self, monkeypatch):
+        release = threading.Event()
+        original_route = Session.route
+
+        def slow_route(self, pi, **kwargs):
+            release.wait(timeout=10.0)
+            return original_route(self, pi, **kwargs)
+
+        monkeypatch.setattr(Session, "route", slow_route)
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            try:
+                with ServeClient(*daemon.address, timeout=10.0) as client:
+                    with pytest.raises(ServeError) as excinfo:
+                        client.route(
+                            random_pis(16, 1)[0], d=4, g=4, deadline_ms=50.0
+                        )
+                    assert excinfo.value.code == protocol.ERR_DEADLINE
+            finally:
+                release.set()
+
+    def test_bad_deadline_rejected_as_bad_request(self):
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            with ServeClient(*daemon.address) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.request({
+                        "op": "route",
+                        "pi": [1, 0],
+                        "d": 1,
+                        "g": 2,
+                        "deadline_ms": -5,
+                    })
+                assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+    def test_retry_backoff_recovers_across_daemon_restart(self):
+        first = ServeDaemon(batch_window_ms=0.0)
+        host, port = first.start()
+        pi = random_pis(16, 1)[0]
+        local = Session(RunConfig(router_backend="euler-array", sim_backend="batched"))
+        client = ServeClient(
+            host, port, timeout=10.0, retries=8, backoff_base=0.02
+        )
+        second = ServeDaemon(batch_window_ms=0.0, host=host, port=port)
+        try:
+            assert client.route(pi, d=4, g=4).metrics == local.route(pi, d=4, g=4)
+            first.shutdown(drain=True)
+
+            def restart():
+                time.sleep(0.15)
+                second.start()
+
+            restarter = threading.Thread(target=restart)
+            restarter.start()
+            # First attempt hits the dead connection, later ones reconnect
+            # (with exponential backoff) once the new daemon is listening.
+            outcome = client.route(pi, d=4, g=4)
+            restarter.join(timeout=10.0)
+            assert outcome.metrics == local.route(pi, d=4, g=4)
+        finally:
+            client.close()
+            second.shutdown(drain=True)
+
+    def test_retry_parameters_validated(self):
+        with pytest.raises(ValueError):
+            ServeClient("127.0.0.1", 1, retries=-1)
+        with pytest.raises(ValueError):
+            ServeClient("127.0.0.1", 1, retries=1, backoff_base=0.0)
+
+
+def _driven_coupler_spec(pi, d, g, backend="euler-array"):
+    """A FaultSpec naming a coupler the clean plan for ``pi`` surely drives."""
+    from repro.pops.topology import POPSNetwork
+    from repro.routing.permutation_router import PermutationRouter
+
+    network = POPSNetwork(d, g)
+    plan = PermutationRouter(network, backend=backend).route([int(x) for x in pi])
+    driven = plan.schedule.slots[0].transmissions[0].coupler
+    from repro.faults import FaultSpec
+
+    return FaultSpec(failed_couplers=((driven.dest_group, driven.source_group),))
+
+
+class TestFaultDegradedServing:
+    def test_route_under_injected_fault_reports_degraded(self):
+        from repro.faults import FaultSpec
+
+        pi = random_pis(16, 1)[0]
+        spec = _driven_coupler_spec(pi, 4, 4)
+        local = Session(RunConfig(router_backend="euler-array", sim_backend="batched"))
+        clean = local.route(pi, d=4, g=4)
+        with ServeDaemon(batch_window_ms=0.0, faults=spec, fault_rate=1.0) as daemon:
+            with ServeClient(*daemon.address) as client:
+                outcome = client.route(pi, d=4, g=4)
+                health = client.health()
+                stats = client.stats()
+            assert outcome.degraded
+            # Degraded metrics carry the true (executed + reroute) slot cost.
+            assert outcome.metrics.slots >= clean.slots
+            assert outcome.metrics.lower_bound == clean.lower_bound
+            assert outcome.batch_size == 1
+            assert health["status"] == "ok"
+            assert health["faults"] == spec.describe()
+            assert health["degraded_responses"] == 1
+            assert stats["faults"] == spec.describe()
+            assert stats["fault_rate"] == 1.0
+            assert stats["telemetry"]["degraded"] == 1
+
+    def test_clean_daemon_reports_no_fault_config(self):
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            with ServeClient(*daemon.address) as client:
+                client.route(random_pis(16, 1)[0], d=4, g=4)
+                health = client.health()
+                stats = client.stats()
+            assert health["faults"] is None
+            assert health["degraded_responses"] == 0
+            assert stats["faults"] is None
+
+    def test_health_answers_during_shutdown(self):
+        with ServeDaemon(batch_window_ms=0.0) as daemon:
+            with ServeClient(*daemon.address) as client:
+                daemon._shutting_down = True  # white-box: intake closed
+                health = client.health()
+                assert health["status"] == "shutting-down"
+            daemon._shutting_down = False
+            daemon.shutdown(drain=True)
+
+    def test_unroutable_fault_maps_to_degraded_error_code(self):
+        from repro.faults import FaultSpec
+
+        # g=2 with c(1,0) dead disconnects group 0 from group 1 entirely:
+        # recovery cannot deliver, and the daemon must say so with the
+        # structured ``degraded`` code instead of a generic internal error.
+        spec = FaultSpec(failed_couplers=((1, 0),))
+        pi = np.asarray([(i + 4) % 8 for i in range(8)], dtype=np.int64)
+        with ServeDaemon(batch_window_ms=0.0, faults=spec, fault_rate=1.0) as daemon:
+            with ServeClient(*daemon.address) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.route(pi, d=4, g=2)
+                assert excinfo.value.code == protocol.ERR_DEGRADED
+                # The connection and the daemon survive the failure.
+                assert client.ping()
+
+    def test_drain_under_faults_answers_every_accepted_request(self):
+        n_clients = 4
+        pis = random_pis(32, n_clients, seed=17)
+        spec = _driven_coupler_spec(pis[0], 8, 4)
+        with ServeDaemon(
+            batch_window_ms=30_000.0, max_batch=64, faults=spec, fault_rate=1.0
+        ) as daemon:
+            host, port = daemon.address
+            outcomes = [None] * n_clients
+
+            def go(i):
+                with ServeClient(host, port, timeout=30.0) as client:
+                    outcomes[i] = client.route(pis[i], d=8, g=4)
+
+            threads = [
+                threading.Thread(target=go, args=(i,)) for i in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            wait_until(
+                lambda: daemon.telemetry.requests == n_clients
+                and daemon.batcher.queue_depth == 0
+            )
+            time.sleep(0.05)
+            daemon.shutdown(drain=True)
+            for thread in threads:
+                thread.join(timeout=10.0)
+
+        # Zero unanswered accepted requests, even with every dispatch struck.
+        assert all(outcome is not None for outcome in outcomes)
+        assert daemon.telemetry.responses == n_clients
+        assert daemon.telemetry.degraded >= 1
+
+    def test_batch_replay_isolates_poisoned_member(self):
+        # Two requests coalesce; one carries a non-permutation.  The batch
+        # kernel call fails, the batcher replays singly: the healthy member
+        # still gets its real answer, only the poisoned one sees an error.
+        good = random_pis(16, 1)[0]
+        bad = np.zeros(16, dtype=np.int64)
+        local = Session(RunConfig(router_backend="euler-array", sim_backend="batched"))
+        with ServeDaemon(batch_window_ms=400.0, max_batch=2) as daemon:
+            host, port = daemon.address
+            results = [None, None]
+
+            def go(i, pi):
+                with ServeClient(host, port, timeout=30.0) as client:
+                    try:
+                        results[i] = client.route(pi, d=4, g=4)
+                    except ServeError as exc:
+                        results[i] = exc
+
+            threads = [
+                threading.Thread(target=go, args=(0, good)),
+                threading.Thread(target=go, args=(1, bad)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+        assert not isinstance(results[0], ServeError), results[0]
+        assert results[0].metrics == local.route(good, d=4, g=4)
+        assert isinstance(results[1], ServeError)
+
+
+class TestHotspotLoad:
+    def test_hotspot_permutation_is_a_blocked_permutation(self):
+        from repro.serve.loadgen import _hotspot_permutation
+
+        rng = np.random.default_rng(0)
+        d, g = 4, 3
+        pi = _hotspot_permutation(rng, d, g)
+        assert sorted(int(x) for x in pi) == list(range(d * g))
+        for a in range(g):
+            block = pi[a * d:(a + 1) * d]
+            assert set(int(x) // d for x in block) == {(a + 1) % g}
+
+    def test_load_report_carries_per_class_percentiles(self):
+        with ServeDaemon(batch_window_ms=2.0, max_batch=16) as daemon:
+            host, port = daemon.address
+            report = run_poisson_load(
+                host, port, rate=500.0, n_requests=24, d=4, g=4,
+                seed=11, connections=4, hotspot_fraction=0.5,
+            )
+        assert report.completed == 24
+        assert report.hotspot_fraction == 0.5
+        assert set(report.class_latency_ms) == {"hotspot", "uniform"}
+        total = sum(
+            entry["count"] for entry in report.class_latency_ms.values()
+        )
+        assert total == report.completed
+        for entry in report.class_latency_ms.values():
+            assert entry["p99_ms"] >= entry["p50_ms"] > 0.0
+        payload = report.to_dict()
+        json.dumps(payload)
+        assert payload["class_latency_ms"] == report.class_latency_ms
+
+    def test_hotspot_fraction_validated(self):
+        with pytest.raises(ValueError):
+            run_poisson_load(
+                "127.0.0.1", 1, rate=1.0, n_requests=1, d=4, g=4,
+                hotspot_fraction=1.5,
+            )
+
+    def test_zero_fraction_reproduces_legacy_draw(self):
+        from repro.serve.loadgen import _draw_workload
+
+        _arrivals, pis, classes = _draw_workload(100.0, 6, 4, 4, 42, 0.0)
+        assert classes == ["uniform"] * 6
+        rng = np.random.default_rng(42)
+        expected = [rng.permutation(16).astype(np.int64) for _ in range(6)]
+        for got, want in zip(pis, expected):
+            np.testing.assert_array_equal(got, want)
